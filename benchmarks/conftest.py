@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (a table, a
+figure, or a claim made in the text) and prints the reproduced rows so
+the run log doubles as the data behind EXPERIMENTS.md.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.datagen import (
+    generate_fullname_gender,
+    generate_phone_state,
+    generate_zip_city_state,
+)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print an aligned results table under a banner."""
+    print(f"\n=== {title} ===")
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    print(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    print("-+-".join("-" * w for w in widths))
+    for row in cells:
+        print(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def phone_dataset():
+    """D1 stand-in: phone number → state (2 000 rows, 2% swapped states)."""
+    return generate_phone_state(n_rows=2000, seed=11, error_rate=0.02)
+
+
+@pytest.fixture(scope="session")
+def fullname_dataset():
+    """D2 stand-in: full name → gender (2 000 rows, 2% flipped genders)."""
+    return generate_fullname_gender(n_rows=2000, seed=7, error_rate=0.02)
+
+
+@pytest.fixture(scope="session")
+def zip_dataset():
+    """D5 stand-in: zip → city/state (3 000 rows, mixed error families)."""
+    return generate_zip_city_state(n_rows=3000, seed=23)

@@ -1,0 +1,78 @@
+"""E8 — detection strategies: brute force vs. pattern index vs. blocking.
+
+Section 3 argues that the naive pairwise check of variable PFDs is
+quadratic and that a regex-capable column index plus blocking avoids it.
+This benchmark applies λ5 (zip prefix → city) to growing tables with each
+strategy and reports the number of value comparisons and the wall-clock
+time; brute force grows quadratically while the blocking strategies stay
+near-linear.
+"""
+
+import time
+
+import pytest
+
+from repro.constrained import constrained_prefix
+from repro.datagen import generate_zip_city_state
+from repro.detection import DetectionStrategy, ErrorDetector
+from repro.patterns import parse_pattern
+from repro.pfd import PFD
+
+from conftest import print_table
+
+SIZES = [500, 1000, 2000, 4000]
+
+
+def make_pfd() -> PFD:
+    return PFD.variable(
+        "zip",
+        "city",
+        constrained_prefix(3, parse_pattern("\\D{2}"), head=parse_pattern("\\D{3}")),
+        name="lambda5",
+    )
+
+
+def run_strategy(table, strategy):
+    detector = ErrorDetector(table)
+    return detector.detect(make_pfd(), strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", [DetectionStrategy.BRUTEFORCE, DetectionStrategy.SCAN, DetectionStrategy.INDEX])
+def test_strategy_timing(benchmark, strategy):
+    """Per-strategy benchmark at a fixed size (2 000 rows)."""
+    table = generate_zip_city_state(n_rows=2000, seed=23).table
+    report = benchmark.pedantic(run_strategy, args=(table, strategy), rounds=2, iterations=1)
+    assert len(report) > 0
+
+
+def test_strategy_scaling_curves(benchmark):
+    """The series behind the scaling figure (printed, asserted on shape)."""
+
+    def run_series():
+        rows = []
+        comparisons = {}
+        for n_rows in SIZES:
+            table = generate_zip_city_state(n_rows=n_rows, seed=23).table
+            row = [n_rows]
+            for strategy in (DetectionStrategy.BRUTEFORCE, DetectionStrategy.INDEX):
+                started = time.perf_counter()
+                report = run_strategy(table, strategy)
+                elapsed = time.perf_counter() - started
+                row.extend([report.comparisons, f"{elapsed*1000:.1f}ms"])
+                comparisons[(strategy, n_rows)] = report.comparisons
+            rows.append(tuple(row))
+        return rows, comparisons
+
+    rows, comparisons = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    print_table(
+        "E8 — variable-PFD detection: brute force vs. index+blocking",
+        ["rows", "bruteforce comparisons", "bruteforce time", "blocking comparisons", "blocking time"],
+        rows,
+    )
+
+    # Shape: doubling the rows roughly quadruples brute-force comparisons
+    # but only doubles the blocking comparisons.
+    brute_growth = comparisons[(DetectionStrategy.BRUTEFORCE, 4000)] / comparisons[(DetectionStrategy.BRUTEFORCE, 1000)]
+    blocking_growth = comparisons[(DetectionStrategy.INDEX, 4000)] / comparisons[(DetectionStrategy.INDEX, 1000)]
+    assert brute_growth > 10
+    assert blocking_growth < 6

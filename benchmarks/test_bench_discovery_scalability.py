@@ -1,0 +1,75 @@
+"""E11 — scalability of PFD discovery.
+
+The demo positions ANMAT next to big-data cleansing systems, so this
+benchmark measures how discovery scales with the number of rows (on the
+zip → city/state stand-in) and with the number of columns (by widening
+the table with additional structured-code columns).  The expected shape
+is near-linear growth in rows and roughly linear growth in the number of
+candidate dependencies.
+"""
+
+import time
+
+from repro.datagen import generate_zip_city_state
+from repro.dataset import Table
+from repro.discovery import PfdDiscoverer
+
+from conftest import print_table
+
+ROW_SIZES = [1000, 2000, 4000, 8000]
+
+
+def widen(table: Table, extra_columns: int) -> Table:
+    """Add synthetic structured columns derived from the zip column."""
+    widened = table
+    zips = table.column_ref("zip")
+    for i in range(extra_columns):
+        values = [f"X{i}-{z[: 2 + (i % 3)]}" for z in zips]
+        widened = widened.with_column(f"code{i}", values)
+    return widened
+
+
+def test_discovery_scaling_with_rows(benchmark):
+    table = generate_zip_city_state(n_rows=2000, seed=23).table
+    benchmark.pedantic(PfdDiscoverer().discover, args=(table,), rounds=2, iterations=1)
+
+    rows = []
+    times = {}
+    for n_rows in ROW_SIZES:
+        dataset = generate_zip_city_state(n_rows=n_rows, seed=23)
+        started = time.perf_counter()
+        pfds = PfdDiscoverer().discover(dataset.table)
+        elapsed = time.perf_counter() - started
+        times[n_rows] = elapsed
+        rows.append((n_rows, len(pfds), f"{elapsed:.2f}s"))
+    print_table(
+        "E11a — discovery time vs. number of rows (zip/city/state)",
+        ["rows", "#PFDs", "time"],
+        rows,
+    )
+    # Shape: 8x the rows costs far less than 8^2 = 64x the time (near-linear).
+    assert times[8000] / max(times[1000], 1e-6) < 40
+
+
+def test_discovery_scaling_with_columns(benchmark):
+    base = generate_zip_city_state(n_rows=1500, seed=23).table
+
+    def run_series():
+        series = []
+        for extra in (0, 2, 4):
+            table = widen(base, extra)
+            started = time.perf_counter()
+            result = PfdDiscoverer().discover_with_report(table)
+            elapsed = time.perf_counter() - started
+            series.append((table.n_columns, len(result.reports), len(result.pfds), f"{elapsed:.2f}s"))
+        return series
+
+    rows = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    print_table(
+        "E11b — discovery vs. number of columns (widened zip table)",
+        ["columns", "candidate dependencies", "#PFDs", "time"],
+        rows,
+    )
+    # Shape: more columns → more candidate dependencies examined.
+    candidates = [row[1] for row in rows]
+    assert candidates == sorted(candidates)

@@ -1,0 +1,32 @@
+"""E4 — Figure 3: profiling and listing the patterns in the data.
+
+Regenerates the profiling screen for the D5 stand-in: per column, the
+dominant patterns in the GUI's ``pattern::position, frequency`` format.
+The benchmark measures profiling the full table.
+"""
+
+from repro.dataset import profile_table
+
+from conftest import print_table
+
+
+def test_fig3_profiling(benchmark, zip_dataset):
+    profile = benchmark(profile_table, zip_dataset.table)
+
+    rows = []
+    for column in profile:
+        for stat in column.value_patterns[:3]:
+            rows.append((column.name, stat.render(), f"{stat.ratio:.1%}", ", ".join(stat.examples[:2])))
+    print_table(
+        "E4 — Figure 3: dominant patterns per column (zip/city/state, 3000 rows)",
+        ["column", "pattern::position, frequency", "share", "examples"],
+        rows,
+    )
+
+    # Shape: zip is dominated by \D{5}, city and state by word-shaped patterns.
+    zip_patterns = [s.pattern_text for s in profile["zip"].value_patterns]
+    assert zip_patterns[0] == "\\D{5}"
+    assert profile["state"].value_patterns[0].pattern_text == "\\LU{2}"
+    assert profile["zip"].is_single_token
+    # candidate pruning keeps all three columns (zip is a code, not a measure)
+    assert set(profile.pfd_candidate_columns()) == {"zip", "city", "state"}

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Structured identifiers: knowledge discovery from employee IDs.
+
+The introduction's motivating example: in an employee table, the ID
+"F-9-107" encodes that "F" determines the financial department and "9"
+determines the grade.  This example generates such a table (standing in
+for the anonymized MIT / company warehouses of the demo), discovers the
+embedded meta-knowledge automatically, and uses it to flag records whose
+department or grade disagrees with their ID.
+
+Run with::
+
+    python examples/employee_ids.py
+"""
+
+from repro.datagen import generate_employee_ids
+from repro.detection import ErrorDetector
+from repro.discovery import DiscoveryConfig, PfdDiscoverer
+from repro.metrics import evaluate_report
+
+
+def main() -> None:
+    dataset = generate_employee_ids(n_rows=1500, seed=31)
+    print(f"Dataset: {dataset.description}")
+    print(dataset.table.head(5).to_text(), "\n")
+
+    discoverer = PfdDiscoverer(DiscoveryConfig(min_coverage=0.7, allowed_violation_ratio=0.05))
+    result = discoverer.discover_with_report(dataset.table, relation="Employees")
+
+    print("=== Discovered meta-knowledge ===")
+    for pfd in result.pfds:
+        print(f"\n{pfd.name}: {pfd.lhs_attribute} → {pfd.rhs_attribute} ({pfd.kind.value})")
+        print(pfd.tableau.render())
+
+    print("\n=== Error detection ===")
+    detector = ErrorDetector(dataset.table)
+    report = detector.detect_all(result.pfds)
+    print(f"{len(report)} violations, {len(report.suspect_cells())} suspect cells")
+    for violation in report.violations[:8]:
+        row = violation.suspect_cell[0]
+        print(
+            f"  row {row}: id={dataset.table.cell(row, 'employee_id')} "
+            f"{violation.rhs_attribute}={violation.observed_value!r} "
+            f"(expected {violation.expected_value!r})"
+        )
+
+    evaluation = evaluate_report(report, dataset.error_cells)
+    print(
+        f"\nAgainst injected ground truth: precision={evaluation.precision:.3f} "
+        f"recall={evaluation.recall:.3f} f1={evaluation.f1:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

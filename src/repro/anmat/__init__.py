@@ -1,0 +1,37 @@
+"""The ANMAT system layer.
+
+The demo wraps discovery and detection in a small application: users
+create a *project*, upload datasets, set the minimum coverage and allowed
+violations, let the system profile the data and extract PFDs, confirm the
+dependencies that look right, and finally run error detection over the
+confirmed rules (Figures 3–5).  This package reproduces that workflow:
+
+* :mod:`repro.anmat.project` — a JSON-backed project/dataset store (the
+  demo used MongoDB).
+* :mod:`repro.anmat.session` — the profile → discover → confirm → detect
+  pipeline as a single object.
+* :mod:`repro.anmat.report` — plain-text renderings of the Figure 3/4/5
+  views and the Table 3 summary.
+* :mod:`repro.anmat.cli` — an ``anmat`` command-line interface standing
+  in for the web GUI.
+"""
+
+from repro.anmat.project import Project, ProjectStore
+from repro.anmat.session import AnmatSession, SessionState
+from repro.anmat.report import (
+    render_discovered_pfds,
+    render_profile,
+    render_table3,
+    render_violations,
+)
+
+__all__ = [
+    "Project",
+    "ProjectStore",
+    "AnmatSession",
+    "SessionState",
+    "render_profile",
+    "render_discovered_pfds",
+    "render_violations",
+    "render_table3",
+]

@@ -1,0 +1,151 @@
+"""The ``anmat`` command-line interface.
+
+A text stand-in for the demo's web GUI.  Sub-commands mirror the GUI
+workflow:
+
+* ``anmat datasets`` — list the built-in synthetic datasets.
+* ``anmat profile`` — profile a dataset (Figure 3).
+* ``anmat discover`` — discover PFDs and print their tableaux (Figure 4).
+* ``anmat detect`` — discover, confirm everything, detect and print
+  violations (Figure 5), optionally scoring against the injected ground
+  truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.anmat.report import render_discovered_pfds, render_profile, render_violations
+from repro.anmat.session import AnmatSession
+from repro.dataset.csvio import read_csv
+from repro.datagen.registry import build_dataset, dataset_names
+from repro.discovery.config import DiscoveryConfig
+from repro.metrics.evaluation import evaluate_report
+
+
+def _load_table(args: argparse.Namespace):
+    """Return (table, ground_truth_or_None, label) from CLI arguments."""
+    if args.csv:
+        return read_csv(Path(args.csv)), None, Path(args.csv).stem
+    dataset = build_dataset(args.dataset)
+    return dataset.table, dataset.error_cells, dataset.name
+
+
+def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
+    config = DiscoveryConfig(
+        min_coverage=args.min_coverage,
+        allowed_violation_ratio=args.allowed_violations,
+    )
+    session = AnmatSession(dataset_name=label, config=config)
+    session.load_table(table)
+    return session
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        default="zip_city_state",
+        choices=dataset_names(),
+        help="built-in synthetic dataset to use",
+    )
+    source.add_argument("--csv", help="path to a CSV file to analyse instead")
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=0.6,
+        help="minimum coverage threshold (the paper's γ)",
+    )
+    parser.add_argument(
+        "--allowed-violations",
+        type=float,
+        default=0.05,
+        help="allowed violation ratio (the paper's dirty-data tolerance)",
+    )
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        dataset = build_dataset(name)
+        print(f"{name:20s} {dataset.table.n_rows:6d} rows  {dataset.description}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    table, _truth, label = _load_table(args)
+    session = _make_session(table, label, args)
+    profile = session.run_profiling()
+    print(render_profile(profile))
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    table, _truth, label = _load_table(args)
+    session = _make_session(table, label, args)
+    result = session.run_discovery()
+    print(render_discovered_pfds(result))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    table, truth, label = _load_table(args)
+    session = _make_session(table, label, args)
+    session.run_discovery()
+    session.confirm_all()
+    report = session.run_detection(strategy=args.strategy)
+    print(render_violations(report, table))
+    if truth is not None and args.score:
+        evaluation = evaluate_report(report, truth)
+        print(
+            f"\nAgainst injected ground truth: precision={evaluation.precision:.3f} "
+            f"recall={evaluation.recall:.3f} f1={evaluation.f1:.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="anmat",
+        description="ANMAT reproduction: PFD discovery and error detection",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="list built-in datasets")
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    profile = subparsers.add_parser("profile", help="profile a dataset (Figure 3)")
+    _add_common_arguments(profile)
+    profile.set_defaults(handler=_cmd_profile)
+
+    discover = subparsers.add_parser("discover", help="discover PFDs (Figure 4)")
+    _add_common_arguments(discover)
+    discover.set_defaults(handler=_cmd_discover)
+
+    detect = subparsers.add_parser("detect", help="detect errors (Figure 5)")
+    _add_common_arguments(detect)
+    detect.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "scan", "index", "bruteforce"],
+        help="detection strategy",
+    )
+    detect.add_argument(
+        "--score",
+        action="store_true",
+        help="score against injected ground truth (built-in datasets only)",
+    )
+    detect.set_defaults(handler=_cmd_detect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The ANMAT workflow as a single session object.
+
+The demo walks the user through: select/create a project → upload a
+dataset → set minimum coverage and allowed violations → the system
+profiles the data and extracts PFDs → the user inspects tableaux and
+confirms the dependencies that are valid → the confirmed rules are run
+over the data and violations are reported.  :class:`AnmatSession`
+exposes each of those steps as a method and enforces their order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.anmat.project import Project
+from repro.dataset.profiling import TableProfile, profile_table
+from repro.dataset.table import Table
+from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.repair import RepairSuggestion, suggest_repairs
+from repro.detection.violation import ViolationReport
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.discoverer import DiscoveryResult, PfdDiscoverer
+from repro.errors import ProjectError
+from repro.pfd.pfd import PFD
+
+
+class SessionState(enum.Enum):
+    """Where in the workflow a session currently is."""
+
+    CREATED = "created"
+    LOADED = "loaded"
+    PROFILED = "profiled"
+    DISCOVERED = "discovered"
+    DETECTED = "detected"
+
+
+@dataclass
+class AnmatSession:
+    """One dataset's journey through the ANMAT pipeline."""
+
+    dataset_name: str
+    table: Optional[Table] = None
+    project: Optional[Project] = None
+    config: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    state: SessionState = SessionState.CREATED
+    profile: Optional[TableProfile] = None
+    discovery: Optional[DiscoveryResult] = None
+    confirmed_names: List[str] = field(default_factory=list)
+    violations: Optional[ViolationReport] = None
+
+    # -- step 1: load ------------------------------------------------------------
+
+    def load_table(self, table: Table) -> "AnmatSession":
+        """Attach ("upload") the dataset to the session."""
+        self.table = table
+        self.state = SessionState.LOADED
+        if self.project is not None:
+            self.project.add_dataset(self.dataset_name, table)
+        return self
+
+    def set_parameters(
+        self,
+        min_coverage: Optional[float] = None,
+        allowed_violation_ratio: Optional[float] = None,
+    ) -> "AnmatSession":
+        """Set the two user-facing parameters of Section 4."""
+        overrides = {}
+        if min_coverage is not None:
+            overrides["min_coverage"] = min_coverage
+        if allowed_violation_ratio is not None:
+            overrides["allowed_violation_ratio"] = allowed_violation_ratio
+        if overrides:
+            self.config = self.config.with_overrides(**overrides)
+        return self
+
+    # -- step 2: profile ------------------------------------------------------------
+
+    def run_profiling(self) -> TableProfile:
+        """Profile every column (the Figure 3 view)."""
+        self._require_table()
+        self.profile = profile_table(self.table)
+        self.state = SessionState.PROFILED
+        return self.profile
+
+    # -- step 3: discover -------------------------------------------------------------
+
+    def run_discovery(self) -> DiscoveryResult:
+        """Extract PFDs from the dataset (the Figure 4 view)."""
+        self._require_table()
+        if self.profile is None:
+            self.run_profiling()
+        discoverer = PfdDiscoverer(self.config)
+        self.discovery = discoverer.discover_with_report(
+            self.table, relation=self.dataset_name
+        )
+        # By default every discovered dependency is pending confirmation.
+        self.confirmed_names = []
+        self.state = SessionState.DISCOVERED
+        if self.project is not None:
+            self.project.save_pfds(self.dataset_name, self.discovery.pfds)
+        return self.discovery
+
+    def discovered_pfds(self) -> List[PFD]:
+        if self.discovery is None:
+            return []
+        return list(self.discovery.pfds)
+
+    # -- step 4: confirm ---------------------------------------------------------------
+
+    def confirm(self, names: Iterable[str]) -> List[str]:
+        """Mark dependencies (by PFD name) as confirmed by the user."""
+        available = {pfd.name for pfd in self.discovered_pfds()}
+        confirmed = []
+        for name in names:
+            if name not in available:
+                raise ProjectError(f"cannot confirm unknown PFD {name!r}")
+            if name not in self.confirmed_names:
+                self.confirmed_names.append(name)
+            confirmed.append(name)
+        if self.project is not None and self.discovery is not None:
+            self.project.save_pfds(
+                self.dataset_name, self.discovery.pfds, self.confirmed_names
+            )
+        return confirmed
+
+    def confirm_all(self) -> List[str]:
+        """Confirm every discovered dependency."""
+        return self.confirm([pfd.name for pfd in self.discovered_pfds() if pfd.name])
+
+    def confirmed_pfds(self) -> List[PFD]:
+        return [
+            pfd
+            for pfd in self.discovered_pfds()
+            if pfd.name in self.confirmed_names
+        ]
+
+    # -- step 5: detect -----------------------------------------------------------------
+
+    def run_detection(
+        self,
+        strategy: str = DetectionStrategy.AUTO,
+        pfds: Optional[Sequence[PFD]] = None,
+    ) -> ViolationReport:
+        """Run the confirmed PFDs over the data (the Figure 5 view)."""
+        self._require_table()
+        rules = list(pfds) if pfds is not None else self.confirmed_pfds()
+        if not rules:
+            raise ProjectError(
+                "no confirmed PFDs to run; call run_discovery() and confirm() first"
+            )
+        detector = ErrorDetector(self.table)
+        self.violations = detector.detect_all(rules, strategy=strategy)
+        self.state = SessionState.DETECTED
+        if self.project is not None:
+            self.project.save_results(
+                self.dataset_name,
+                {
+                    "dataset": self.dataset_name,
+                    "n_rows": self.table.n_rows,
+                    "n_violations": len(self.violations),
+                    "suspect_rows": self.violations.suspect_rows(),
+                    "strategy": strategy,
+                },
+            )
+        return self.violations
+
+    def repair_suggestions(self) -> List[RepairSuggestion]:
+        """Repair suggestions for the last detection run."""
+        if self.violations is None:
+            return []
+        return suggest_repairs(self.violations)
+
+    # -- summary ----------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """A dictionary summarizing the session (used by the CLI)."""
+        return {
+            "dataset": self.dataset_name,
+            "state": self.state.value,
+            "n_rows": self.table.n_rows if self.table is not None else 0,
+            "n_pfds": len(self.discovered_pfds()),
+            "n_confirmed": len(self.confirmed_names),
+            "n_violations": len(self.violations) if self.violations is not None else 0,
+            "min_coverage": self.config.min_coverage,
+            "allowed_violation_ratio": self.config.allowed_violation_ratio,
+        }
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _require_table(self) -> None:
+        if self.table is None:
+            raise ProjectError(
+                f"session {self.dataset_name!r} has no table; call load_table() first"
+            )

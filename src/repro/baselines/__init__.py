@@ -1,0 +1,34 @@
+"""Baseline discovery and detection approaches.
+
+The paper's central claim is that PFDs capture errors "that cannot be
+captured by existing approaches" — classical functional dependencies
+(FDs), conditional functional dependencies (CFDs), and per-column
+syntactic outlier detection.  This package implements those existing
+approaches so the comparison experiment (E10 in DESIGN.md) can be run:
+
+* :mod:`repro.baselines.fd_discovery` — a TANE-style exact/approximate FD
+  miner based on stripped partitions.
+* :mod:`repro.baselines.cfd_discovery` — a CFDMiner-style constant CFD
+  miner based on frequent LHS values.
+* :mod:`repro.baselines.fd_detection` — violation detection for FDs and
+  CFDs.
+* :mod:`repro.baselines.pattern_outliers` — an Auto-Detect-style detector
+  flagging values whose syntactic pattern is rare for their column.
+"""
+
+from repro.baselines.fd_discovery import FdDiscoveryConfig, TaneDiscoverer, discover_fds
+from repro.baselines.cfd_discovery import CFD, CfdDiscoveryConfig, discover_constant_cfds
+from repro.baselines.fd_detection import detect_cfd_violations, detect_fd_violations
+from repro.baselines.pattern_outliers import PatternOutlierDetector
+
+__all__ = [
+    "FdDiscoveryConfig",
+    "TaneDiscoverer",
+    "discover_fds",
+    "CFD",
+    "CfdDiscoveryConfig",
+    "discover_constant_cfds",
+    "detect_fd_violations",
+    "detect_cfd_violations",
+    "PatternOutlierDetector",
+]

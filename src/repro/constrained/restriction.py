@@ -1,0 +1,198 @@
+"""The restriction relation between constrained patterns.
+
+The paper defines ``Q ⊆ Q'`` ("Q is a restricted pattern of Q'") as: for
+any two strings ``s, s'``, ``s ≡_Q s'`` implies ``s ≡_{Q'} s'``.  In
+other words the equivalence induced by Q refines the one induced by Q'.
+
+Deciding this for arbitrary segmentations would require reasoning about
+all string pairs, so :func:`is_restriction_of` implements a *sound*
+structural test covering the pattern families the system actually
+produces (and the paper's examples):
+
+1. **Fixed-offset rule** — when the character offsets of every
+   constrained segment are statically known in both patterns (all
+   segments up to the last constrained one have a fixed length, as in the
+   ``⟨\\D{3}⟩\\D{2}`` prefix family), Q restricts Q' iff the character
+   positions pinned by Q' are a subset of those pinned by Q.
+2. **Word-alignment rule** — when both patterns decompose into
+   space-free word segments separated by literal spaces (with optional
+   ``\\A*`` gaps), each constrained segment is identified by its word
+   index counted from the left (before the first gap) or from the right
+   (after the last gap); Q restricts Q' iff every word position
+   constrained by Q' is also constrained by Q.
+
+In both cases the embedded pattern of Q must additionally be contained in
+the embedded pattern of Q' (otherwise a string could match Q but not Q',
+making ``≡_{Q'}`` false trivially).  When neither rule applies the
+function conservatively returns False.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.patterns.alphabet import CharClass
+from repro.patterns.containment import pattern_contains
+from repro.patterns.syntax import ClassAtom, Literal
+
+#: A label identifying a constrained region: ("char", start, stop) for the
+#: fixed-offset rule, ("L", i) / ("R", -j) for the word-alignment rule.
+Label = Tuple
+
+
+def is_restriction_of(restricted: ConstrainedPattern, general: ConstrainedPattern) -> bool:
+    """Whether ``restricted ⊆ general`` in the paper's sense (sound test)."""
+    if not pattern_contains(restricted.embedded_pattern(), general.embedded_pattern()):
+        return False
+    decision = _fixed_offset_rule(restricted, general)
+    if decision is not None:
+        return decision
+    decision = _word_alignment_rule(restricted, general)
+    if decision is not None:
+        return decision
+    return False
+
+
+# -- rule 1: fixed character offsets -------------------------------------------------
+
+
+def _constrained_char_positions(pattern: ConstrainedPattern) -> Optional[FrozenSet[int]]:
+    """Character positions pinned by the constrained segments, or None if
+    the offsets are not statically determined."""
+    positions: List[int] = []
+    offset = 0
+    last_constrained = max(
+        i for i, segment in enumerate(pattern.segments) if segment.constrained
+    )
+    for index, segment in enumerate(pattern.segments):
+        if index > last_constrained:
+            break
+        length = segment.pattern.max_length()
+        if length is None or length != segment.pattern.min_length():
+            return None
+        if segment.constrained:
+            positions.extend(range(offset, offset + length))
+        offset += length
+    return frozenset(positions)
+
+
+def _fixed_offset_rule(
+    restricted: ConstrainedPattern, general: ConstrainedPattern
+) -> Optional[bool]:
+    restricted_positions = _constrained_char_positions(restricted)
+    general_positions = _constrained_char_positions(general)
+    if restricted_positions is None or general_positions is None:
+        return None
+    return general_positions <= restricted_positions
+
+
+# -- rule 2: word alignment ------------------------------------------------------------
+
+
+def _atom_can_match_space(atom) -> bool:
+    if isinstance(atom, Literal):
+        return atom.char == " "
+    if isinstance(atom, ClassAtom):
+        return atom.char_class in (CharClass.ANY, CharClass.SYMBOL)
+    return True
+
+
+def _flatten(pattern: ConstrainedPattern) -> List[Tuple[str, bool]]:
+    """Flatten the segments into (kind, constrained) element units.
+
+    Kinds: ``"separator"`` (a single literal space), ``"gap"`` (an atom
+    that can absorb spaces, e.g. ``\\A*``), ``"wordchar"`` (anything that
+    cannot match a space).
+    """
+    units: List[Tuple[str, bool]] = []
+    for segment in pattern.segments:
+        for element in segment.pattern.elements:
+            atom = element.atom
+            if isinstance(atom, Literal) and atom.char == " " and element.quantifier.is_single:
+                units.append(("separator", segment.constrained))
+            elif _atom_can_match_space(atom):
+                units.append(("gap", segment.constrained))
+            else:
+                units.append(("wordchar", segment.constrained))
+    return units
+
+
+def _word_labels(pattern: ConstrainedPattern) -> Optional[FrozenSet[Label]]:
+    """Word-position labels pinned by the constrained segments.
+
+    Words are maximal runs of space-free units; a word counts as pinned
+    when all of its units are constrained, unpinned when none are, and
+    the decomposition fails (None) when a word is partially constrained
+    or a gap unit is constrained.  Constrained separators are ignored —
+    a literal space can only ever match ``" "``, so agreement on it is
+    automatic.
+    """
+    units = _flatten(pattern)
+    if any(kind == "gap" and constrained for kind, constrained in units):
+        return None
+
+    def word_runs(indexes) -> Optional[List[Tuple[str, int]]]:
+        """(pinned?, word-index) pairs over a unit index range; word
+        indexes are counted by separators crossed."""
+        runs: List[Tuple[str, int]] = []
+        word_index = 0
+        current: List[bool] = []
+        for i in indexes:
+            kind, constrained = units[i]
+            if kind == "wordchar":
+                current.append(constrained)
+            else:
+                if current:
+                    runs.append((_word_state(current), word_index))
+                    current = []
+                word_index += 1
+        if current:
+            runs.append((_word_state(current), word_index))
+        return runs
+
+    first_gap = next((i for i, (k, _c) in enumerate(units) if k == "gap"), len(units))
+    last_gap = next(
+        (i for i in range(len(units) - 1, -1, -1) if units[i][0] == "gap"), -1
+    )
+
+    labels: List[Label] = []
+    left_runs = word_runs(range(first_gap))
+    for state, index in left_runs:
+        if state == "mixed":
+            return None
+        if state == "pinned":
+            labels.append(("L", index))
+    if last_gap >= 0:
+        right_units = list(range(last_gap + 1, len(units)))
+        # count from the right: reverse, then negate indexes
+        reversed_runs = word_runs(reversed(right_units))
+        for state, index in reversed_runs:
+            if state == "mixed":
+                return None
+            if state == "pinned":
+                labels.append(("R", -(index + 1)))
+        # any constrained word strictly between the gaps has no stable position
+        for i in range(first_gap, last_gap + 1):
+            kind, constrained = units[i]
+            if kind == "wordchar" and constrained:
+                return None
+    return frozenset(labels)
+
+
+def _word_state(flags: List[bool]) -> str:
+    if all(flags):
+        return "pinned"
+    if not any(flags):
+        return "free"
+    return "mixed"
+
+
+def _word_alignment_rule(
+    restricted: ConstrainedPattern, general: ConstrainedPattern
+) -> Optional[bool]:
+    restricted_labels = _word_labels(restricted)
+    general_labels = _word_labels(general)
+    if restricted_labels is None or general_labels is None:
+        return None
+    return general_labels <= restricted_labels

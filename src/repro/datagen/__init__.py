@@ -1,0 +1,40 @@
+"""Synthetic dataset generators.
+
+The demo used data.gov extracts, ChEMBL, the MIT data warehouse and
+private datasets from Qatari companies — none of which ship with this
+reproduction.  The generators below produce seeded synthetic tables with
+the same *syntactic shape* as those datasets (zip prefixes determining
+cities, area codes determining states, first names determining gender,
+structured employee and compound identifiers) plus controlled error
+injection, so every experiment has ground-truth labels the original dirty
+data lacks.
+"""
+
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector, GeneratedDataset
+from repro.datagen.people import generate_fullname_gender, FIRST_NAMES
+from repro.datagen.phones import generate_phone_state, AREA_CODES
+from repro.datagen.geo import generate_zip_city_state, ZIP_PREFIXES
+from repro.datagen.employees import generate_employee_ids, DEPARTMENTS
+from repro.datagen.chembl import generate_compound_table
+from repro.datagen.paper_examples import name_table_d1, zip_table_d2
+from repro.datagen.registry import DATASET_BUILDERS, build_dataset, dataset_names
+
+__all__ = [
+    "CorruptionSpec",
+    "ErrorInjector",
+    "GeneratedDataset",
+    "generate_fullname_gender",
+    "FIRST_NAMES",
+    "generate_phone_state",
+    "AREA_CODES",
+    "generate_zip_city_state",
+    "ZIP_PREFIXES",
+    "generate_employee_ids",
+    "DEPARTMENTS",
+    "generate_compound_table",
+    "name_table_d1",
+    "zip_table_d2",
+    "DATASET_BUILDERS",
+    "build_dataset",
+    "dataset_names",
+]

@@ -1,0 +1,69 @@
+"""ChEMBL-like compound dataset.
+
+The demo profiled a ChEMBL download.  The relevant syntactic structure is
+its identifier scheme: compound ids look like ``CHEMBL25``, assay ids are
+``CHEMBL-A-<digits>``-style codes, and a type column is implied by the id
+prefix.  This generator reproduces that structure: the textual prefix of
+the record id determines the record type, and document ids carry the
+publication year in a fixed position.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector, GeneratedDataset
+from repro.dataset.table import Table
+
+#: Identifier prefix → record type.
+ID_PREFIXES: Dict[str, str] = {
+    "CHEMBL": "compound",
+    "ASSAY": "assay",
+    "TARGET": "target",
+    "DOC": "document",
+}
+
+
+def generate_compound_table(
+    n_rows: int = 2000,
+    seed: int = 41,
+    type_error_rate: float = 0.02,
+) -> GeneratedDataset:
+    """Generate the ChEMBL-like record table with wrong record types injected."""
+    rng = random.Random(seed)
+    prefixes = sorted(ID_PREFIXES)
+    rows: List[Tuple[str, str, str]] = []
+    seen = set()
+    while len(rows) < n_rows:
+        prefix = rng.choice(prefixes)
+        record_id = f"{prefix}{rng.randrange(10, 10_000_000)}"
+        if record_id in seen:
+            continue
+        seen.add(record_id)
+        year = rng.randrange(1995, 2019)
+        source = f"{year}-{rng.randrange(100, 999)}"
+        rows.append((record_id, ID_PREFIXES[prefix], source))
+    clean = Table.from_rows(["record_id", "record_type", "source_ref"], rows)
+    injector = ErrorInjector(seed=seed + 1)
+    dirty, error_cells = injector.corrupt(
+        clean,
+        [
+            CorruptionSpec(
+                "record_type",
+                type_error_rate,
+                kind="swap",
+                alternatives=sorted(ID_PREFIXES.values()),
+            )
+        ],
+    )
+    return GeneratedDataset(
+        name="chembl_records",
+        table=dirty,
+        clean_table=clean,
+        error_cells=error_cells,
+        description=(
+            "ChEMBL-like record table: the alphabetic prefix of the record id "
+            "determines the record type; wrong record types are injected."
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Zip / city / state dataset (the paper's D5 and the Table 2 example).
+
+Five-digit zip codes whose leading digits determine the city and the
+state (``6060\\D → Chicago``, ``60\\D{3} → IL``, ``95\\D{3} → CA`` …).
+Three error families are injected, mirroring the Table 3 error column:
+
+* wrong-but-valid city or state (swap),
+* misspelled city ("Chicag", "Chciago") — a typo,
+* miscased state ("lL") — a case flip.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector, GeneratedDataset
+from repro.dataset.table import Table
+
+#: 3-digit zip prefix → (city, state); 2-digit prefixes determine the state.
+ZIP_PREFIXES: Dict[str, Tuple[str, str]] = {
+    "606": ("Chicago", "IL"),
+    "607": ("Chicago", "IL"),
+    "617": ("Springfield", "IL"),
+    "900": ("Los Angeles", "CA"),
+    "901": ("Los Angeles", "CA"),
+    "941": ("San Francisco", "CA"),
+    "956": ("Sacramento", "CA"),
+    "100": ("New York", "NY"),
+    "104": ("Bronx", "NY"),
+    "112": ("Brooklyn", "NY"),
+    "331": ("Miami", "FL"),
+    "335": ("Tampa", "FL"),
+    "770": ("Houston", "TX"),
+    "752": ("Dallas", "TX"),
+    "787": ("Austin", "TX"),
+    "981": ("Seattle", "WA"),
+    "992": ("Spokane", "WA"),
+}
+
+
+def generate_zip_city_state(
+    n_rows: int = 3000,
+    seed: int = 23,
+    city_error_rate: float = 0.01,
+    city_typo_rate: float = 0.01,
+    state_error_rate: float = 0.01,
+    state_case_rate: float = 0.005,
+) -> GeneratedDataset:
+    """Generate the zip → city/state dataset with four error families."""
+    rng = random.Random(seed)
+    prefixes = sorted(ZIP_PREFIXES)
+    cities = sorted({city for city, _state in ZIP_PREFIXES.values()})
+    states = sorted({state for _city, state in ZIP_PREFIXES.values()})
+    rows: List[Tuple[str, str, str]] = []
+    for _ in range(n_rows):
+        prefix = rng.choice(prefixes)
+        zip_code = f"{prefix}{rng.randrange(0, 100):02d}"
+        city, state = ZIP_PREFIXES[prefix]
+        rows.append((zip_code, city, state))
+    clean = Table.from_rows(["zip", "city", "state"], rows)
+    injector = ErrorInjector(seed=seed + 1)
+    dirty, error_cells = injector.corrupt(
+        clean,
+        [
+            CorruptionSpec("city", city_error_rate, kind="swap", alternatives=cities),
+            CorruptionSpec("city", city_typo_rate, kind="typo"),
+            CorruptionSpec("state", state_error_rate, kind="swap", alternatives=states),
+            CorruptionSpec("state", state_case_rate, kind="case"),
+        ],
+    )
+    return GeneratedDataset(
+        name="zip_city_state",
+        table=dirty,
+        clean_table=clean,
+        error_cells=error_cells,
+        description=(
+            "ZIP → CITY / ZIP → STATE (paper dataset D5): 5-digit zip codes "
+            "whose 3-digit prefix determines the city and whose 2-digit "
+            "prefix determines the state; wrong values, misspellings and "
+            "case errors are injected."
+        ),
+    )

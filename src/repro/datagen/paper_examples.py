@@ -1,0 +1,56 @@
+"""The literal running examples of the paper (Tables 1 and 2).
+
+These two four-row tables, including their erroneous cells (r4[gender]
+and s4[city]), are used throughout the introduction to motivate λ1–λ5;
+the quickstart example and the intro-example benchmark reproduce the
+paper's discussion on them verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.corruption import GeneratedDataset
+from repro.dataset.table import Table
+
+
+def name_table_d1() -> GeneratedDataset:
+    """Table 1 (D1): the Name table with the r4[gender] error."""
+    clean = Table.from_rows(
+        ["name", "gender"],
+        [
+            ["John Charles", "M"],
+            ["John Bosco", "M"],
+            ["Susan Orlean", "F"],
+            ["Susan Boyle", "F"],
+        ],
+    )
+    dirty = clean.copy()
+    dirty.set_cell(3, "gender", "M")  # r4[gender] should be F
+    return GeneratedDataset(
+        name="paper_d1_name",
+        table=dirty,
+        clean_table=clean,
+        error_cells={(3, "gender")},
+        description="Paper Table 1: Name table; r4[gender]='M' is wrong (ground truth 'F').",
+    )
+
+
+def zip_table_d2() -> GeneratedDataset:
+    """Table 2 (D2): the Zip table with the s4[city] error."""
+    clean = Table.from_rows(
+        ["zip", "city"],
+        [
+            ["90001", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90003", "Los Angeles"],
+            ["90004", "Los Angeles"],
+        ],
+    )
+    dirty = clean.copy()
+    dirty.set_cell(3, "city", "New York")  # s4[city] should be Los Angeles
+    return GeneratedDataset(
+        name="paper_d2_zip",
+        table=dirty,
+        clean_table=clean,
+        error_cells={(3, "city")},
+        description="Paper Table 2: Zip table; s4[city]='New York' is wrong (ground truth 'Los Angeles').",
+    )

@@ -1,0 +1,81 @@
+"""Phone-number / state dataset (the paper's D1).
+
+Ten-digit phone numbers whose three-digit area code determines the state
+(the Table 3 tableau: ``850\\D{7} → FL``, ``607\\D{7} → NY`` …).  Phone
+numbers are unique, so a classical FD ``Phone → State`` trivially holds
+and detects nothing; only the area-code *pattern* exposes the swapped
+states.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector, GeneratedDataset
+from repro.dataset.table import Table
+
+#: Area code → state, including every pair shown in Table 3 of the paper.
+AREA_CODES: Dict[str, str] = {
+    "850": "FL",
+    "607": "NY",
+    "404": "GA",
+    "217": "IL",
+    "860": "CT",
+    "212": "NY",
+    "305": "FL",
+    "312": "IL",
+    "415": "CA",
+    "617": "MA",
+    "713": "TX",
+    "206": "WA",
+    "303": "CO",
+    "602": "AZ",
+    "503": "OR",
+    "702": "NV",
+}
+
+
+def generate_phone_state(
+    n_rows: int = 2000,
+    seed: int = 11,
+    error_rate: float = 0.02,
+) -> GeneratedDataset:
+    """Generate the phone-number → state dataset with swapped states."""
+    rng = random.Random(seed)
+    area_codes = sorted(AREA_CODES)
+    states = sorted(set(AREA_CODES.values()))
+    rows: List[Tuple[str, str]] = []
+    seen_numbers = set()
+    while len(rows) < n_rows:
+        area = rng.choice(area_codes)
+        local = f"{rng.randrange(200, 999)}{rng.randrange(0, 10000):04d}"
+        number = area + local
+        if number in seen_numbers:
+            continue
+        seen_numbers.add(number)
+        rows.append((number, AREA_CODES[area]))
+    clean = Table.from_rows(["phone_number", "state"], rows)
+    injector = ErrorInjector(seed=seed + 1)
+    dirty, error_cells = injector.corrupt(
+        clean,
+        [
+            CorruptionSpec(
+                attribute="state",
+                error_rate=error_rate,
+                kind="swap",
+                alternatives=states,
+            )
+        ],
+    )
+    return GeneratedDataset(
+        name="phone_state",
+        table=dirty,
+        clean_table=clean,
+        error_cells=error_cells,
+        description=(
+            "Phone Number → State (paper dataset D1): unique 10-digit numbers "
+            "whose area code determines the state; a fraction of state cells "
+            "is replaced by a different valid state."
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Registry of named dataset builders.
+
+The ANMAT session layer, the examples and the benchmarks all refer to
+datasets by name; this registry maps those names onto the generator
+functions with their default parameters so a dataset can be rebuilt
+reproducibly from a single string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datagen.chembl import generate_compound_table
+from repro.datagen.corruption import GeneratedDataset
+from repro.datagen.employees import generate_employee_ids
+from repro.datagen.geo import generate_zip_city_state
+from repro.datagen.paper_examples import name_table_d1, zip_table_d2
+from repro.datagen.people import generate_fullname_gender
+from repro.datagen.phones import generate_phone_state
+from repro.errors import ProjectError
+
+#: Name → zero-argument builder returning a :class:`GeneratedDataset`.
+DATASET_BUILDERS: Dict[str, Callable[..., GeneratedDataset]] = {
+    "phone_state": generate_phone_state,
+    "fullname_gender": generate_fullname_gender,
+    "zip_city_state": generate_zip_city_state,
+    "employee_ids": generate_employee_ids,
+    "chembl_records": generate_compound_table,
+    "paper_d1_name": name_table_d1,
+    "paper_d2_zip": zip_table_d2,
+}
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names."""
+    return sorted(DATASET_BUILDERS)
+
+
+def build_dataset(name: str, **kwargs) -> GeneratedDataset:
+    """Build a registered dataset by name, forwarding generator kwargs."""
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise ProjectError(
+            f"unknown dataset {name!r}; available: {', '.join(dataset_names())}"
+        ) from None
+    return builder(**kwargs)

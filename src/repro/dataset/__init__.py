@@ -1,0 +1,30 @@
+"""Relational table substrate used by every other subsystem.
+
+The ANMAT demo operates on relational tables (CSV uploads in the GUI).
+pandas is not available in this environment, so this package provides the
+small slice of dataframe behaviour the algorithms need: a columnar
+in-memory :class:`Table` with a typed :class:`Schema`, CSV input/output,
+type inference, and the column profiler that backs Figure 3 of the paper.
+"""
+
+from repro.dataset.schema import Attribute, DataType, Schema
+from repro.dataset.table import Table
+from repro.dataset.csvio import read_csv, read_csv_text, write_csv
+from repro.dataset.inference import infer_column_type, infer_schema
+from repro.dataset.profiling import ColumnProfile, PatternStat, TableProfile, profile_table
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "Schema",
+    "Table",
+    "read_csv",
+    "read_csv_text",
+    "write_csv",
+    "infer_column_type",
+    "infer_schema",
+    "ColumnProfile",
+    "PatternStat",
+    "TableProfile",
+    "profile_table",
+]

@@ -1,0 +1,119 @@
+"""CSV input/output for :class:`~repro.dataset.table.Table`.
+
+The ANMAT demo lets users upload CSV datasets; this module is the
+equivalent ingestion path.  It wraps the standard-library ``csv`` module
+and adds rectangularity checks, optional type inference, and symmetric
+writing so round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.dataset.inference import infer_schema
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import CsvFormatError
+
+
+def read_csv_text(
+    text: str,
+    delimiter: str = ",",
+    header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+    infer_types: bool = True,
+) -> Table:
+    """Parse CSV text into a table.
+
+    Parameters
+    ----------
+    text:
+        The CSV document.
+    delimiter:
+        Field separator.
+    header:
+        Whether the first row holds column names.  When false,
+        ``column_names`` must be provided.
+    column_names:
+        Explicit column names (overrides the header row when both are
+        given).
+    infer_types:
+        Whether to run type inference and attach dtypes to the schema.
+    """
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = [row for row in reader]
+    if not rows:
+        raise CsvFormatError("CSV document contains no rows")
+    if header:
+        header_row, data_rows = rows[0], rows[1:]
+    else:
+        header_row, data_rows = None, rows
+    if column_names is not None:
+        names = list(column_names)
+    elif header_row is not None:
+        names = [name.strip() for name in header_row]
+    else:
+        raise CsvFormatError("header=False requires explicit column_names")
+    if len(set(names)) != len(names):
+        raise CsvFormatError(f"duplicate column names in CSV header: {names}")
+    width = len(names)
+    for line_number, row in enumerate(data_rows, start=2 if header else 1):
+        if len(row) != width:
+            raise CsvFormatError(
+                f"line {line_number} has {len(row)} fields, expected {width}"
+            )
+    table = Table.from_rows(names, data_rows)
+    if infer_types:
+        table = table.with_schema(infer_schema(table))
+    return table
+
+
+def read_csv(
+    path: Union[str, Path],
+    delimiter: str = ",",
+    header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+    infer_types: bool = True,
+    encoding: str = "utf-8",
+) -> Table:
+    """Read a CSV file from disk into a table."""
+    text = Path(path).read_text(encoding=encoding)
+    return read_csv_text(
+        text,
+        delimiter=delimiter,
+        header=header,
+        column_names=column_names,
+        infer_types=infer_types,
+    )
+
+
+def write_csv(
+    table: Table,
+    path: Union[str, Path],
+    delimiter: str = ",",
+    header: bool = True,
+    encoding: str = "utf-8",
+) -> Path:
+    """Write a table to a CSV file and return the path written."""
+    path = Path(path)
+    with path.open("w", newline="", encoding=encoding) as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if header:
+            writer.writerow(table.column_names())
+        for row in table.iter_rows():
+            writer.writerow(row)
+    return path
+
+
+def to_csv_text(table: Table, delimiter: str = ",", header: bool = True) -> str:
+    """Render a table as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter)
+    if header:
+        writer.writerow(table.column_names())
+    for row in table.iter_rows():
+        writer.writerow(row)
+    return buffer.getvalue()

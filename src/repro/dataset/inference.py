@@ -1,0 +1,72 @@
+"""Column type inference.
+
+The discovery algorithm prunes attributes that cannot host PFDs — in the
+paper, "we drop all columns with pure numerical values".  To make that
+decision the schema needs coarse data types, which this module infers from
+the string values in each column.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataset.schema import DataType, Schema
+from repro.dataset.table import Table
+
+_BOOLEAN_TOKENS = {"true", "false", "yes", "no", "t", "f", "y", "n"}
+
+
+def _is_integer(value: str) -> bool:
+    text = value.strip()
+    if not text:
+        return False
+    if text[0] in "+-":
+        text = text[1:]
+    return text.isdigit() and bool(text)
+
+
+def _is_float(value: str) -> bool:
+    text = value.strip()
+    if not text:
+        return False
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def infer_column_type(values: Sequence[str], threshold: float = 1.0) -> DataType:
+    """Infer the coarse type of a column from its non-empty values.
+
+    ``threshold`` is the fraction of non-empty values that must conform to
+    a type for the column to be assigned that type; the default of 1.0
+    means a single non-conforming value demotes the column to STRING,
+    which is the conservative choice for dependency discovery (a zip code
+    column with one alphanumeric value should still be treated as text).
+    """
+    non_empty = [v for v in values if v.strip() != ""]
+    if not non_empty:
+        return DataType.EMPTY
+    total = len(non_empty)
+
+    def conforms(predicate) -> bool:
+        hits = sum(1 for v in non_empty if predicate(v))
+        return hits / total >= threshold
+
+    if conforms(lambda v: v.strip().lower() in _BOOLEAN_TOKENS):
+        return DataType.BOOLEAN
+    if conforms(_is_integer):
+        return DataType.INTEGER
+    if conforms(_is_float):
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def infer_schema(table: Table, threshold: float = 1.0) -> Schema:
+    """Return a copy of the table's schema with inferred dtypes attached."""
+    dtypes = [
+        infer_column_type(table.column_ref(name), threshold=threshold)
+        for name in table.column_names()
+    ]
+    return table.schema.with_dtypes(dtypes)

@@ -1,0 +1,28 @@
+"""Error detection with PFDs (Section 3 of the paper).
+
+Constant PFDs are checked with a single pass assisted by a per-column
+pattern index; variable PFDs are checked by *blocking* the tuples on the
+constrained projection of the LHS pattern, avoiding the quadratic
+pairwise comparison.  A deliberately naive brute-force strategy is also
+provided so the benchmarks can reproduce the paper's argument for
+indexes and blocking.
+"""
+
+from repro.detection.violation import Violation, ViolationKind, ViolationReport
+from repro.detection.index import PatternColumnIndex
+from repro.detection.blocking import block_by_key, block_by_projection
+from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.repair import RepairSuggestion, suggest_repairs
+
+__all__ = [
+    "Violation",
+    "ViolationKind",
+    "ViolationReport",
+    "PatternColumnIndex",
+    "block_by_key",
+    "block_by_projection",
+    "DetectionStrategy",
+    "ErrorDetector",
+    "RepairSuggestion",
+    "suggest_repairs",
+]

@@ -1,0 +1,291 @@
+"""The error-detection engine.
+
+Strategies (Section 3 of the paper):
+
+* ``scan`` — constant rules: one pass over the table per rule; variable
+  rules: pairwise comparison restricted to rows matching the embedded
+  pattern (still quadratic).
+* ``index`` — constant rules consult the per-column
+  :class:`~repro.detection.index.PatternColumnIndex` so only rows whose
+  value can match ``tp[A]`` are inspected; variable rules use the index
+  to shortlist rows and then blocking.
+* ``bruteforce`` — variable rules enumerate *all* tuple pairs, exactly
+  the naive algorithm the paper says must be avoided; kept for the
+  strategy-comparison benchmark.
+* ``auto`` — ``index`` (the default).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.dataset.table import Table
+from repro.detection.blocking import (
+    block_by_projection,
+    majority_value,
+    split_block_by_rhs,
+)
+from repro.detection.index import PatternColumnIndex
+from repro.detection.violation import Violation, ViolationKind, ViolationReport
+from repro.errors import DetectionError
+from repro.patterns.pattern import Pattern
+from repro.pfd.pfd import PFD
+from repro.pfd.tableau import TableauRow, Wildcard, cell_matches, cell_to_text
+
+
+class DetectionStrategy:
+    """String constants naming the supported strategies."""
+
+    AUTO = "auto"
+    SCAN = "scan"
+    INDEX = "index"
+    BRUTEFORCE = "bruteforce"
+
+    ALL = (AUTO, SCAN, INDEX, BRUTEFORCE)
+
+
+class ErrorDetector:
+    """Applies PFDs to a table and reports violations."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self._indexes: Dict[str, PatternColumnIndex] = {}
+
+    # -- public API ----------------------------------------------------------------
+
+    def column_index(self, attribute: str) -> PatternColumnIndex:
+        """The (cached) pattern index of a column."""
+        if attribute not in self._indexes:
+            self._indexes[attribute] = PatternColumnIndex(self.table.column_ref(attribute))
+        return self._indexes[attribute]
+
+    def detect(self, pfd: PFD, strategy: str = DetectionStrategy.AUTO) -> ViolationReport:
+        """Detect all violations of one PFD."""
+        if strategy not in DetectionStrategy.ALL:
+            raise DetectionError(
+                f"unknown strategy {strategy!r}; expected one of {DetectionStrategy.ALL}"
+            )
+        started = time.perf_counter()
+        report = ViolationReport(n_rows=self.table.n_rows, strategy=strategy)
+        lhs = pfd.lhs_attribute
+        rhs = pfd.rhs_attribute
+        lhs_values = self.table.column_ref(lhs)
+        rhs_values = self.table.column_ref(rhs)
+        for rule_index, rule in enumerate(pfd.tableau):
+            lhs_cell = rule.cell(lhs)
+            rhs_cell = rule.cell(rhs)
+            if isinstance(rhs_cell, Wildcard):
+                self._detect_variable_rule(
+                    report, pfd, rule_index, rule, lhs_cell,
+                    lhs_values, rhs_values, strategy,
+                )
+            else:
+                self._detect_constant_rule(
+                    report, pfd, rule_index, rule, lhs_cell, rhs_cell,
+                    lhs_values, rhs_values, strategy,
+                )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def detect_all(
+        self, pfds: Iterable[PFD], strategy: str = DetectionStrategy.AUTO
+    ) -> ViolationReport:
+        """Detect violations of every PFD and merge the reports."""
+        merged = ViolationReport(n_rows=self.table.n_rows, strategy=strategy)
+        for pfd in pfds:
+            merged = merged.merged_with(self.detect(pfd, strategy))
+        merged.strategy = strategy
+        return merged
+
+    # -- constant rules -----------------------------------------------------------------
+
+    def _matching_rows(
+        self,
+        attribute: str,
+        lhs_cell,
+        values: Sequence[str],
+        strategy: str,
+        report: ViolationReport,
+    ) -> List[int]:
+        """Rows whose LHS value satisfies the rule's LHS cell."""
+        use_index = strategy in (DetectionStrategy.AUTO, DetectionStrategy.INDEX)
+        if use_index and isinstance(lhs_cell, (Pattern, ConstrainedPattern)):
+            index = self.column_index(attribute)
+            rows = index.matching_rows(lhs_cell)
+            report.comparisons += index.last_candidates_tested
+            return rows
+        if use_index and isinstance(lhs_cell, str):
+            return self.column_index(attribute).matching_constant(lhs_cell)
+        rows = []
+        for row, value in enumerate(values):
+            report.comparisons += 1
+            if cell_matches(lhs_cell, value):
+                rows.append(row)
+        return rows
+
+    def _detect_constant_rule(
+        self,
+        report: ViolationReport,
+        pfd: PFD,
+        rule_index: int,
+        rule: TableauRow,
+        lhs_cell,
+        rhs_cell,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        strategy: str,
+    ) -> None:
+        lhs = pfd.lhs_attribute
+        rhs = pfd.rhs_attribute
+        expected = cell_to_text(rhs_cell) if not isinstance(rhs_cell, Wildcard) else None
+        for row in self._matching_rows(lhs, lhs_cell, lhs_values, strategy, report):
+            report.comparisons += 1
+            if cell_matches(rhs_cell, rhs_values[row]):
+                continue
+            report.add(
+                Violation(
+                    pfd_name=pfd.name or str(pfd.fd),
+                    lhs_attribute=lhs,
+                    rhs_attribute=rhs,
+                    kind=ViolationKind.CONSTANT,
+                    rule_index=rule_index,
+                    rule_text=rule.render(),
+                    rows=(row,),
+                    cells=((row, lhs), (row, rhs)),
+                    suspect_cell=(row, rhs),
+                    observed_value=rhs_values[row],
+                    expected_value=expected if isinstance(rhs_cell, str) else expected,
+                )
+            )
+
+    # -- variable rules ------------------------------------------------------------------
+
+    def _detect_variable_rule(
+        self,
+        report: ViolationReport,
+        pfd: PFD,
+        rule_index: int,
+        rule: TableauRow,
+        lhs_cell,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        strategy: str,
+    ) -> None:
+        lhs = pfd.lhs_attribute
+        rhs = pfd.rhs_attribute
+        constrained = _as_constrained(lhs_cell)
+        matching = self._matching_rows(lhs, constrained, lhs_values, strategy, report)
+        if strategy == DetectionStrategy.BRUTEFORCE:
+            pairs = self._bruteforce_pairs(
+                matching, constrained, lhs_values, rhs_values, report
+            )
+            self._emit_pair_violations(
+                report, pfd, rule_index, rule, pairs, lhs, rhs, rhs_values
+            )
+            return
+        blocks = block_by_projection(matching, lhs_values, constrained)
+        for block_rows in blocks.values():
+            if len(block_rows) < 2:
+                continue
+            report.comparisons += len(block_rows)
+            groups = split_block_by_rhs(block_rows, rhs_values)
+            if len(groups) < 2:
+                continue
+            majority = majority_value(groups)
+            witnesses = groups[majority]
+            for value, rows in groups.items():
+                if value == majority:
+                    continue
+                for row in rows:
+                    witness = witnesses[0]
+                    report.add(
+                        Violation(
+                            pfd_name=pfd.name or str(pfd.fd),
+                            lhs_attribute=lhs,
+                            rhs_attribute=rhs,
+                            kind=ViolationKind.VARIABLE,
+                            rule_index=rule_index,
+                            rule_text=rule.render(),
+                            rows=(witness, row),
+                            cells=(
+                                (witness, lhs),
+                                (witness, rhs),
+                                (row, lhs),
+                                (row, rhs),
+                            ),
+                            suspect_cell=(row, rhs),
+                            observed_value=value,
+                            expected_value=majority,
+                        )
+                    )
+
+    def _bruteforce_pairs(
+        self,
+        matching: Sequence[int],
+        constrained: ConstrainedPattern,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        report: ViolationReport,
+    ) -> List[Tuple[int, int]]:
+        """All violating pairs found by comparing every pair of matching rows."""
+        pairs: List[Tuple[int, int]] = []
+        for i_index in range(len(matching)):
+            i = matching[i_index]
+            for j_index in range(i_index + 1, len(matching)):
+                j = matching[j_index]
+                report.comparisons += 1
+                if rhs_values[i] == rhs_values[j]:
+                    continue
+                if constrained.equivalent(lhs_values[i], lhs_values[j]):
+                    pairs.append((i, j))
+        return pairs
+
+    def _emit_pair_violations(
+        self,
+        report: ViolationReport,
+        pfd: PFD,
+        rule_index: int,
+        rule: TableauRow,
+        pairs: Sequence[Tuple[int, int]],
+        lhs: str,
+        rhs: str,
+        rhs_values: Sequence[str],
+    ) -> None:
+        """Convert raw violating pairs into violations.
+
+        The brute-force path has no notion of a block majority, so the
+        second row of each pair is reported as the suspect (matching the
+        reference semantics in :mod:`repro.pfd.satisfaction`).
+        """
+        for left, right in pairs:
+            report.add(
+                Violation(
+                    pfd_name=pfd.name or str(pfd.fd),
+                    lhs_attribute=lhs,
+                    rhs_attribute=rhs,
+                    kind=ViolationKind.VARIABLE,
+                    rule_index=rule_index,
+                    rule_text=rule.render(),
+                    rows=(left, right),
+                    cells=((left, lhs), (left, rhs), (right, lhs), (right, rhs)),
+                    suspect_cell=(right, rhs),
+                    observed_value=rhs_values[right],
+                    expected_value=rhs_values[left],
+                )
+            )
+
+
+def _as_constrained(lhs_cell) -> ConstrainedPattern:
+    """Normalize a variable rule's LHS cell to a constrained pattern."""
+    if isinstance(lhs_cell, ConstrainedPattern):
+        return lhs_cell
+    if isinstance(lhs_cell, Pattern):
+        return ConstrainedPattern.whole_value(lhs_cell)
+    if isinstance(lhs_cell, str):
+        return ConstrainedPattern.whole_value(Pattern.literal(lhs_cell))
+    raise DetectionError(
+        f"variable rule has an unsupported LHS cell {lhs_cell!r}; "
+        "expected a pattern or constrained pattern"
+    )

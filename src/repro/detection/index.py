@@ -1,0 +1,86 @@
+"""Per-column pattern index.
+
+"For better performance, we create an index supporting regular
+expressions for each column present on the LHS of the PFDs.  In this
+case, the search for violations will be limited to those tuples that
+match tp[A]."  This module implements that index with two accelerations:
+
+* matching is evaluated once per *distinct* value rather than once per
+  row (columns such as city or gender have few distinct values);
+* patterns with a literal prefix (``850\\D{7}``, ``6060\\D``) are answered
+  from a sorted array of distinct values via binary search on the prefix,
+  so only values sharing the prefix are regex-tested.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.patterns.pattern import Pattern
+
+
+class PatternColumnIndex:
+    """An index over one column answering "which rows match this pattern?"."""
+
+    def __init__(self, values: Sequence[str]):
+        self._n_rows = len(values)
+        self._rows_by_value: Dict[str, List[int]] = {}
+        for row, value in enumerate(values):
+            self._rows_by_value.setdefault(value, []).append(row)
+        self._sorted_values: List[str] = sorted(self._rows_by_value)
+        #: statistics: how many distinct values were regex-tested by the
+        #: last lookup (used by the strategy-comparison benchmark)
+        self.last_candidates_tested = 0
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self._sorted_values)
+
+    def rows_of_value(self, value: str) -> List[int]:
+        """Rows holding exactly ``value``."""
+        return list(self._rows_by_value.get(value, ()))
+
+    # -- lookups -----------------------------------------------------------------
+
+    def _candidate_values(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[str]:
+        """Distinct values that could match, narrowed by literal prefix."""
+        prefix = ""
+        if isinstance(pattern, Pattern):
+            prefix = pattern.literal_prefix()
+        elif isinstance(pattern, ConstrainedPattern):
+            first = pattern.segments[0].pattern
+            prefix = first.literal_prefix()
+        if not prefix:
+            return self._sorted_values
+        low = bisect.bisect_left(self._sorted_values, prefix)
+        # The upper bound is the prefix with its last character bumped —
+        # every string starting with the prefix sorts below it.
+        upper_key = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+        high = bisect.bisect_left(self._sorted_values, upper_key)
+        return self._sorted_values[low:high]
+
+    def matching_values(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[str]:
+        """Distinct values matching the pattern."""
+        candidates = self._candidate_values(pattern)
+        self.last_candidates_tested = len(candidates)
+        return [value for value in candidates if pattern.matches(value)]
+
+    def matching_rows(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[int]:
+        """Row indexes whose value matches the pattern, sorted."""
+        rows: List[int] = []
+        for value in self.matching_values(pattern):
+            rows.extend(self._rows_by_value[value])
+        rows.sort()
+        return rows
+
+    def matching_constant(self, constant: str) -> List[int]:
+        """Rows equal to a constant (degenerate pattern)."""
+        return self.rows_of_value(constant)

@@ -1,0 +1,81 @@
+"""Repair suggestions for detected violations.
+
+The paper: "if we assume that the LHS value is correct then the RHS could
+[be] repaired by changing it to tp[B]".  Constant-PFD violations therefore
+carry the tableau constant as the suggested repair; variable-PFD
+violations suggest the majority value of the offending block.  Repairs
+are suggestions only — :func:`apply_repairs` exists so the examples can
+show a full detect-and-fix loop, but nothing applies them implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.dataset.table import Table
+from repro.detection.violation import Violation, ViolationReport
+
+
+@dataclass(frozen=True)
+class RepairSuggestion:
+    """A proposed cell overwrite."""
+
+    row: int
+    attribute: str
+    current_value: str
+    suggested_value: str
+    pfd_name: str
+    confidence: float
+
+    def describe(self) -> str:
+        return (
+            f"row {self.row}: {self.attribute} "
+            f"{self.current_value!r} → {self.suggested_value!r} ({self.pfd_name})"
+        )
+
+
+def suggest_repairs(report: ViolationReport) -> List[RepairSuggestion]:
+    """Turn a violation report into per-cell repair suggestions.
+
+    When several violations flag the same cell, the suggestion backed by
+    the most violations (then the first seen) wins; its confidence is the
+    fraction of that cell's violations that agree with it.
+    """
+    by_cell: Dict[Tuple[int, str], List[Violation]] = {}
+    for violation in report:
+        if violation.expected_value is None:
+            continue
+        by_cell.setdefault(violation.suspect_cell, []).append(violation)
+    suggestions: List[RepairSuggestion] = []
+    for (row, attribute), violations in sorted(by_cell.items()):
+        votes: Dict[str, int] = {}
+        for violation in violations:
+            votes[violation.expected_value] = votes.get(violation.expected_value, 0) + 1
+        winner = max(votes, key=lambda value: (votes[value], value))
+        suggestions.append(
+            RepairSuggestion(
+                row=row,
+                attribute=attribute,
+                current_value=violations[0].observed_value,
+                suggested_value=winner,
+                pfd_name=violations[0].pfd_name,
+                confidence=votes[winner] / len(violations),
+            )
+        )
+    return suggestions
+
+
+def apply_repairs(
+    table: Table,
+    suggestions: Iterable[RepairSuggestion],
+    min_confidence: float = 0.0,
+) -> Table:
+    """Return a copy of the table with suggestions at or above the
+    confidence threshold applied."""
+    repaired = table.copy()
+    for suggestion in suggestions:
+        if suggestion.confidence < min_confidence:
+            continue
+        repaired.set_cell(suggestion.row, suggestion.attribute, suggestion.suggested_value)
+    return repaired

@@ -1,0 +1,132 @@
+"""Violations: the output of error detection.
+
+A violation identifies the cells "that are highly likely to be erroneous
+values".  For a constant PFD a violation involves two cells of a single
+tuple (the matching LHS cell and the disagreeing RHS cell); for a
+variable PFD it involves the four cells of a tuple pair, exactly as in
+the paper's r3/r4 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+#: A cell reference: (row index, attribute name).
+Cell = Tuple[int, str]
+
+
+class ViolationKind:
+    """String constants naming the two violation families."""
+
+    CONSTANT = "constant"
+    VARIABLE = "variable"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation of a PFD rule."""
+
+    pfd_name: str
+    lhs_attribute: str
+    rhs_attribute: str
+    kind: str
+    rule_index: int
+    rule_text: str
+    rows: Tuple[int, ...]
+    cells: Tuple[Cell, ...]
+    #: the cell the engine believes is wrong (RHS of the offending tuple)
+    suspect_cell: Cell
+    observed_value: str
+    expected_value: Optional[str] = None
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``8505467600 | CA`` of Table 3."""
+        expectation = f" (expected {self.expected_value!r})" if self.expected_value else ""
+        return (
+            f"{self.pfd_name}: rows {list(self.rows)} — "
+            f"{self.rhs_attribute}={self.observed_value!r}{expectation} "
+            f"violates [{self.rule_text}]"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass
+class ViolationReport:
+    """All violations found by one detection run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    n_rows: int = 0
+    elapsed_seconds: float = 0.0
+    strategy: str = "auto"
+    comparisons: int = 0
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+
+    def extend(self, violations: Iterable[Violation]) -> None:
+        self.violations.extend(violations)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def is_empty(self) -> bool:
+        return not self.violations
+
+    # -- aggregations ------------------------------------------------------------
+
+    def suspect_cells(self) -> Set[Cell]:
+        """Distinct cells flagged as likely errors."""
+        return {v.suspect_cell for v in self.violations}
+
+    def involved_cells(self) -> Set[Cell]:
+        """Every cell participating in any violation."""
+        cells: Set[Cell] = set()
+        for violation in self.violations:
+            cells.update(violation.cells)
+        return cells
+
+    def suspect_rows(self) -> List[int]:
+        """Rows containing at least one suspect cell, sorted."""
+        return sorted({row for row, _attr in self.suspect_cells()})
+
+    def by_pfd(self) -> Dict[str, List[Violation]]:
+        grouped: Dict[str, List[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.pfd_name, []).append(violation)
+        return grouped
+
+    def by_attribute(self) -> Dict[str, List[Violation]]:
+        grouped: Dict[str, List[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.rhs_attribute, []).append(violation)
+        return grouped
+
+    def violation_ratio(self) -> float:
+        """Suspect rows as a fraction of the table size."""
+        if self.n_rows == 0:
+            return 0.0
+        return len(self.suspect_rows()) / self.n_rows
+
+    def merged_with(self, other: "ViolationReport") -> "ViolationReport":
+        """Union of two reports (deduplicated)."""
+        merged = ViolationReport(
+            n_rows=max(self.n_rows, other.n_rows),
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            strategy=self.strategy,
+            comparisons=self.comparisons + other.comparisons,
+        )
+        seen: Set[Tuple] = set()
+        for violation in list(self.violations) + list(other.violations):
+            key = (violation.pfd_name, violation.rule_index, violation.rows, violation.suspect_cell)
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.add(violation)
+        return merged

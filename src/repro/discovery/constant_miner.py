@@ -1,0 +1,96 @@
+"""Mining constant PFDs for one candidate dependency.
+
+This implements the body of the Figure 2 loop for a single ``A → B``:
+build the inverted list over tokens/n-grams of ``A``, let the decision
+function turn entries into pattern-tuple candidates, then greedily keep
+the candidates that add coverage (so the tableau stays small and free of
+redundant, more-specific patterns — ``900\\D{2}`` suppresses ``9000\\D``
+when the latter covers no additional tuples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.decision import DecisionFunction, MajorityDecision, PatternTupleCandidate
+from repro.discovery.inverted_index import InvertedList
+
+
+class ConstantPfdMiner:
+    """Produces the constant pattern tuples of one candidate dependency."""
+
+    def __init__(
+        self,
+        config: Optional[DiscoveryConfig] = None,
+        decision: Optional[DecisionFunction] = None,
+    ):
+        self.config = config or DiscoveryConfig()
+        self.decision = decision or MajorityDecision()
+
+    def mine(
+        self,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        mode: str,
+    ) -> List[PatternTupleCandidate]:
+        """Return the selected pattern tuples for ``A → B``.
+
+        ``mode`` is the token extraction mode for the LHS column
+        (``"token"``, ``"ngram"`` or ``"prefix"``).
+        """
+        index = InvertedList.build(
+            lhs_values,
+            rhs_values,
+            mode=mode,
+            ngram_size=self.config.ngram_size,
+        )
+        candidates: List[PatternTupleCandidate] = []
+        for entry in index.entries(min_support=self.config.min_support):
+            candidate = self.decision.decide(entry, lhs_values, self.config)
+            if candidate is not None:
+                candidates.append(candidate)
+        return self.select(candidates)
+
+    def select(self, candidates: List[PatternTupleCandidate]) -> List[PatternTupleCandidate]:
+        """Greedy redundancy elimination.
+
+        Candidates are considered from most to least covering; a
+        candidate is kept only if it covers tuples not already covered by
+        a kept candidate with the same RHS constant.  Candidates with
+        different RHS constants never suppress each other (they are
+        different rules of the tableau).
+        """
+        ordered = sorted(
+            candidates,
+            key=lambda c: (-c.support, -c.agreement, len(c.pattern_text), c.pattern_text),
+        )
+        kept: List[PatternTupleCandidate] = []
+        covered_by_rhs = {}
+        for candidate in ordered:
+            if len(kept) >= self.config.max_tableau_rows:
+                break
+            already = covered_by_rhs.setdefault(candidate.rhs_constant, set())
+            new_tuples = set(candidate.covered_tuple_ids) - already
+            if not new_tuples:
+                continue
+            if len(new_tuples) < self.config.min_support and already:
+                # The marginal contribution is below the support floor;
+                # a more general kept pattern already explains the rest.
+                continue
+            kept.append(candidate)
+            already.update(candidate.covered_tuple_ids)
+        return kept
+
+    def coverage(
+        self, candidates: Sequence[PatternTupleCandidate], lhs_values: Sequence[str]
+    ) -> float:
+        """Fraction of non-empty LHS values covered by the candidates
+        (the quantity compared against γ in Figure 2, line 13)."""
+        non_empty = [i for i, v in enumerate(lhs_values) if v != ""]
+        if not non_empty:
+            return 0.0
+        covered = set()
+        for candidate in candidates:
+            covered.update(candidate.covered_tuple_ids)
+        return len(covered & set(non_empty)) / len(non_empty)

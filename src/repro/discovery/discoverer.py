@@ -1,0 +1,222 @@
+"""The Discover-PFDs driver (Figure 2 of the paper).
+
+:class:`PfdDiscoverer` glues together candidate generation, the constant
+miner, and the variable miner, applies the minimum-coverage threshold γ,
+and packages everything into :class:`~repro.pfd.pfd.PFD` objects plus a
+:class:`DiscoveryResult` carrying the per-dependency statistics the
+ANMAT GUI displays.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dataset.profiling import TableProfile, profile_table
+from repro.dataset.table import Table
+from repro.discovery.candidates import CandidateDependency, candidate_dependencies
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.constant_miner import ConstantPfdMiner
+from repro.discovery.decision import DecisionFunction, PatternTupleCandidate
+from repro.discovery.variable_miner import VariableCandidate, VariablePfdMiner
+from repro.pfd.pfd import PFD
+from repro.pfd.tableau import WILDCARD
+
+
+@dataclass
+class DependencyReport:
+    """Discovery statistics for one candidate dependency."""
+
+    candidate: CandidateDependency
+    constant_candidates: List[PatternTupleCandidate] = field(default_factory=list)
+    variable_candidates: List[VariableCandidate] = field(default_factory=list)
+    coverage: float = 0.0
+    accepted: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def lhs(self) -> str:
+        return self.candidate.lhs
+
+    @property
+    def rhs(self) -> str:
+        return self.candidate.rhs
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything produced by one discovery run."""
+
+    pfds: List[PFD]
+    reports: List[DependencyReport]
+    profile: TableProfile
+    config: DiscoveryConfig
+    elapsed_seconds: float
+
+    def constant_pfds(self) -> List[PFD]:
+        return [p for p in self.pfds if p.is_constant]
+
+    def variable_pfds(self) -> List[PFD]:
+        return [p for p in self.pfds if p.is_variable]
+
+    def pfds_for(self, lhs: str, rhs: str) -> List[PFD]:
+        """All discovered PFDs over a specific attribute pair."""
+        return [
+            p
+            for p in self.pfds
+            if p.lhs_attribute == lhs and p.rhs_attribute == rhs
+        ]
+
+    def report_for(self, lhs: str, rhs: str) -> Optional[DependencyReport]:
+        for report in self.reports:
+            if report.lhs == lhs and report.rhs == rhs:
+                return report
+        return None
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "candidates_examined": len(self.reports),
+            "dependencies_accepted": sum(1 for r in self.reports if r.accepted),
+            "pfds": len(self.pfds),
+            "constant_pfds": len(self.constant_pfds()),
+            "variable_pfds": len(self.variable_pfds()),
+        }
+
+
+class PfdDiscoverer:
+    """Discovers PFDs directly from (dirty) data."""
+
+    def __init__(
+        self,
+        config: Optional[DiscoveryConfig] = None,
+        decision: Optional[DecisionFunction] = None,
+    ):
+        self.config = config or DiscoveryConfig()
+        self.constant_miner = ConstantPfdMiner(self.config, decision)
+        self.variable_miner = VariablePfdMiner(self.config)
+
+    def discover(self, table: Table, relation: Optional[str] = None) -> List[PFD]:
+        """Discover PFDs and return just the PFD list."""
+        return self.discover_with_report(table, relation=relation).pfds
+
+    def discover_with_report(
+        self,
+        table: Table,
+        relation: Optional[str] = None,
+        candidates: Optional[Sequence[CandidateDependency]] = None,
+    ) -> DiscoveryResult:
+        """Run the full pipeline and return PFDs plus statistics."""
+        started = time.perf_counter()
+        profile = profile_table(table)
+        if candidates is None:
+            candidates = candidate_dependencies(table, self.config, profile)
+        pfds: List[PFD] = []
+        reports: List[DependencyReport] = []
+        counter = 0
+        for candidate in candidates:
+            report = self._mine_candidate(table, candidate)
+            reports.append(report)
+            if not report.accepted:
+                continue
+            if self.config.discover_constant and report.constant_candidates:
+                counter += 1
+                pfds.append(
+                    self._build_constant_pfd(candidate, report, counter, relation)
+                )
+            if self.config.discover_variable:
+                for variable in report.variable_candidates:
+                    counter += 1
+                    pfds.append(
+                        self._build_variable_pfd(candidate, variable, counter, relation)
+                    )
+        elapsed = time.perf_counter() - started
+        return DiscoveryResult(
+            pfds=pfds,
+            reports=reports,
+            profile=profile,
+            config=self.config,
+            elapsed_seconds=elapsed,
+        )
+
+    # -- per-candidate mining ---------------------------------------------------
+
+    def _mine_candidate(
+        self, table: Table, candidate: CandidateDependency
+    ) -> DependencyReport:
+        started = time.perf_counter()
+        lhs_values = table.column_ref(candidate.lhs)
+        rhs_values = table.column_ref(candidate.rhs)
+        report = DependencyReport(candidate=candidate)
+        if self.config.discover_constant:
+            report.constant_candidates = self.constant_miner.mine(
+                lhs_values, rhs_values, candidate.lhs_mode
+            )
+            report.coverage = self.constant_miner.coverage(
+                report.constant_candidates, lhs_values
+            )
+        if self.config.discover_variable:
+            report.variable_candidates = self.variable_miner.mine(
+                lhs_values, rhs_values, candidate.lhs_mode
+            )
+        constant_ok = (
+            bool(report.constant_candidates)
+            and report.coverage >= self.config.min_coverage
+        )
+        variable_ok = bool(report.variable_candidates)
+        if not constant_ok:
+            # below-threshold constant tableaux are dropped (Figure 2 line 13)
+            report.constant_candidates = []
+        report.accepted = constant_ok or variable_ok
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # -- PFD construction ----------------------------------------------------------
+
+    @staticmethod
+    def _build_constant_pfd(
+        candidate: CandidateDependency,
+        report: DependencyReport,
+        counter: int,
+        relation: Optional[str],
+    ) -> PFD:
+        pfd = PFD.constant(
+            candidate.lhs,
+            candidate.rhs,
+            name=f"psi{counter}",
+            relation=relation,
+        )
+        for row in report.constant_candidates:
+            pfd.add_rule(
+                {
+                    candidate.lhs: row.lhs_pattern,
+                    candidate.rhs: row.rhs_constant,
+                }
+            )
+        return pfd
+
+    @staticmethod
+    def _build_variable_pfd(
+        candidate: CandidateDependency,
+        variable: VariableCandidate,
+        counter: int,
+        relation: Optional[str],
+    ) -> PFD:
+        pfd = PFD(
+            fd=_embedded(candidate),
+            name=f"psi{counter}",
+            relation=relation,
+        )
+        pfd.add_rule(
+            {
+                candidate.lhs: variable.constrained_pattern,
+                candidate.rhs: WILDCARD,
+            }
+        )
+        return pfd
+
+
+def _embedded(candidate: CandidateDependency):
+    from repro.pfd.fd import EmbeddedFD
+
+    return EmbeddedFD.between(candidate.lhs, candidate.rhs)

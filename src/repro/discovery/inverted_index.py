@@ -1,0 +1,146 @@
+"""The hash-based inverted list of the discovery algorithm.
+
+Figure 2, line 8: for every tuple ``t`` and every token (or n-gram) ``s``
+of ``t[A]``, the algorithm inserts a key-value pair into an inverted list
+``H`` where the key is ``s`` and the value records the tuple id, the
+position of ``s`` in ``t[A]``, and the RHS information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.patterns.tokenizer import Token, iter_token_modes
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One inverted-list entry value (the triple of Figure 2, line 8,
+    extended with the full RHS value which the decision function needs)."""
+
+    tuple_id: int
+    lhs_position: int
+    lhs_token: str
+    rhs_value: str
+    rhs_token: str = ""
+    rhs_position: int = 0
+
+
+@dataclass
+class InvertedEntry:
+    """All postings sharing one key."""
+
+    key: Tuple[str, int]
+    postings: List[Posting]
+
+    @property
+    def token(self) -> str:
+        return self.key[0]
+
+    @property
+    def position(self) -> int:
+        return self.key[1]
+
+    @property
+    def support(self) -> int:
+        """Number of distinct tuples behind this entry."""
+        return len({p.tuple_id for p in self.postings})
+
+    def tuple_ids(self) -> List[int]:
+        return sorted({p.tuple_id for p in self.postings})
+
+    def rhs_distribution(self) -> Dict[str, int]:
+        """RHS value → number of distinct tuples carrying it."""
+        seen: Dict[str, set] = {}
+        for posting in self.postings:
+            seen.setdefault(posting.rhs_value, set()).add(posting.tuple_id)
+        return {value: len(ids) for value, ids in seen.items()}
+
+    def top_rhs(self) -> Tuple[str, int]:
+        """The most frequent RHS value and its tuple count."""
+        distribution = self.rhs_distribution()
+        value = max(distribution, key=lambda v: (distribution[v], v))
+        return value, distribution[value]
+
+
+class InvertedList:
+    """Token/n-gram → postings map, keyed by (token text, position).
+
+    Keying by position as well as text mirrors the GUI display
+    ("pattern::position, frequency") and keeps tokens that happen to
+    occur at different positions (e.g. a first name also used as a last
+    name) in separate groups.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, int], List[Posting]] = {}
+
+    def insert(self, key_token: str, posting: Posting, position: Optional[int] = None) -> None:
+        """Insert one posting under (token, position)."""
+        position = posting.lhs_position if position is None else position
+        self._entries.setdefault((key_token, position), []).append(posting)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._entries
+
+    def entry(self, token: str, position: int) -> InvertedEntry:
+        return InvertedEntry((token, position), list(self._entries[(token, position)]))
+
+    def entries(self, min_support: int = 1) -> Iterator[InvertedEntry]:
+        """Iterate over entries with at least ``min_support`` tuples."""
+        for key, postings in self._entries.items():
+            entry = InvertedEntry(key, postings)
+            if entry.support >= min_support:
+                yield entry
+
+    @classmethod
+    def build(
+        cls,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        mode: str,
+        ngram_size: int = 3,
+        tokenize_rhs: bool = False,
+    ) -> "InvertedList":
+        """Populate the inverted list for one candidate dependency.
+
+        ``tokenize_rhs`` mirrors the nested loop of Figure 2 line 7;
+        the default records the full RHS value once per LHS token, which
+        is what the decision function consumes.
+        """
+        index = cls()
+        for tuple_id, (lhs_value, rhs_value) in enumerate(zip(lhs_values, rhs_values)):
+            if lhs_value == "":
+                continue
+            for token in iter_token_modes(lhs_value, mode, ngram_size):
+                key = token.normalized or token.text
+                if not key:
+                    continue
+                if tokenize_rhs:
+                    for rhs_token in iter_token_modes(rhs_value, "token"):
+                        index.insert(
+                            key,
+                            Posting(
+                                tuple_id=tuple_id,
+                                lhs_position=token.position,
+                                lhs_token=token.text,
+                                rhs_value=rhs_value,
+                                rhs_token=rhs_token.text,
+                                rhs_position=rhs_token.position,
+                            ),
+                        )
+                else:
+                    index.insert(
+                        key,
+                        Posting(
+                            tuple_id=tuple_id,
+                            lhs_position=token.position,
+                            lhs_token=token.text,
+                            rhs_value=rhs_value,
+                        ),
+                    )
+        return index

@@ -1,0 +1,42 @@
+"""Small numeric helpers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import EvaluationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0 ≤ q ≤ 100) using linear interpolation."""
+    if not values:
+        raise EvaluationError("percentile of an empty sequence is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise EvaluationError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize_counts(counts: Dict[str, int]) -> Dict[str, float]:
+    """Total / distinct / max-share summary of a frequency map."""
+    total = sum(counts.values())
+    if total == 0:
+        return {"total": 0, "distinct": 0, "max_share": 0.0}
+    return {
+        "total": total,
+        "distinct": len(counts),
+        "max_share": max(counts.values()) / total,
+    }

@@ -1,0 +1,65 @@
+"""The restricted pattern language of ANMAT.
+
+Patterns are sequences of characters and character classes drawn from the
+generalization tree (Figure 1 of the paper), optionally quantified with
+``{N}``, ``+`` or ``*``.  The class deliberately excludes alternation and
+nested/recursive quantification, which keeps matching, discovery and
+containment tractable (checking equivalence of general regular
+expressions is PSPACE-complete).
+
+Public surface:
+
+* :func:`parse_pattern` / :class:`Pattern` — parse and represent patterns
+  written in the paper's syntax (``\\LU\\LL*\\ \\A*``, ``900\\D{2}`` …).
+* :class:`CharClass` and :data:`GENERALIZATION_TREE` — the Figure 1 tree.
+* matching — ``Pattern.matches`` (NFA simulation) and
+  :func:`compile_to_regex` (Python ``re`` backend).
+* :func:`pattern_contains` — the containment test ``P ⊆ P'``.
+* :func:`generalize_string` / :func:`generalize_strings` /
+  :class:`PatternHistogram` — learning patterns from values.
+* :func:`tokenize` / :func:`ngrams` — the ``Tokenize`` and ``NGrams``
+  functions used by the discovery algorithm.
+"""
+
+from repro.patterns.alphabet import (
+    CharClass,
+    GENERALIZATION_TREE,
+    GeneralizationTree,
+    classify_char,
+)
+from repro.patterns.syntax import Element, Literal, ClassAtom, Quantifier, ONE
+from repro.patterns.parser import parse_pattern
+from repro.patterns.pattern import Pattern
+from repro.patterns.regex import compile_to_regex
+from repro.patterns.containment import pattern_contains, patterns_equivalent
+from repro.patterns.generalize import (
+    PatternHistogram,
+    generalize_string,
+    generalize_strings,
+    signature_of,
+)
+from repro.patterns.tokenizer import Token, ngrams, tokenize
+
+__all__ = [
+    "CharClass",
+    "GENERALIZATION_TREE",
+    "GeneralizationTree",
+    "classify_char",
+    "Element",
+    "Literal",
+    "ClassAtom",
+    "Quantifier",
+    "ONE",
+    "parse_pattern",
+    "Pattern",
+    "compile_to_regex",
+    "pattern_contains",
+    "patterns_equivalent",
+    "PatternHistogram",
+    "generalize_string",
+    "generalize_strings",
+    "signature_of",
+    "Token",
+    "ngrams",
+    "tokenize",
+]

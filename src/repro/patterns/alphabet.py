@@ -1,0 +1,147 @@
+"""The generalization tree (Figure 1 of the paper).
+
+The tree is defined over an alphabet Σ.  Each leaf is a character; each
+intermediate node generalizes its children:
+
+* ``\\A``  (All)    — any character
+* ``\\LU`` (Upper)  — upper-case letters ``A``–``Z``
+* ``\\LL`` (Lower)  — lower-case letters ``a``–``z``
+* ``\\D``  (Digit)  — digits ``0``–``9``
+* ``\\S``  (Symbol) — everything else (punctuation, whitespace, …)
+
+The tree supports the two operations the rest of the system needs:
+classifying a character into its immediate parent class, and testing
+whether a character belongs to a class (used by the matcher).
+"""
+
+from __future__ import annotations
+
+import enum
+import string
+from typing import Dict, Iterable, List, Optional
+
+
+class CharClass(enum.Enum):
+    """An intermediate node of the generalization tree."""
+
+    ANY = "A"
+    UPPER = "LU"
+    LOWER = "LL"
+    DIGIT = "D"
+    SYMBOL = "S"
+
+    @property
+    def token(self) -> str:
+        """The token used in the paper's pattern syntax, e.g. ``\\LU``."""
+        return "\\" + self.value
+
+    def contains_char(self, char: str) -> bool:
+        """Whether a single character belongs to this class."""
+        if len(char) != 1:
+            return False
+        if self is CharClass.ANY:
+            return True
+        if self is CharClass.UPPER:
+            return "A" <= char <= "Z"
+        if self is CharClass.LOWER:
+            return "a" <= char <= "z"
+        if self is CharClass.DIGIT:
+            return "0" <= char <= "9"
+        return not (
+            "A" <= char <= "Z" or "a" <= char <= "z" or "0" <= char <= "9"
+        )
+
+    def sample_chars(self) -> str:
+        """A representative set of member characters (used by tests and
+        by the containment alphabet construction)."""
+        if self is CharClass.UPPER:
+            return string.ascii_uppercase
+        if self is CharClass.LOWER:
+            return string.ascii_lowercase
+        if self is CharClass.DIGIT:
+            return string.digits
+        if self is CharClass.SYMBOL:
+            return " .,:;-_/()'\"#&@+*!?%$"
+        return (
+            string.ascii_uppercase
+            + string.ascii_lowercase
+            + string.digits
+            + " .,:;-_/()'\"#&@+*!?%$"
+        )
+
+
+def classify_char(char: str) -> CharClass:
+    """Return the immediate parent class of a character in the tree."""
+    if len(char) != 1:
+        raise ValueError(f"classify_char expects a single character, got {char!r}")
+    if "A" <= char <= "Z":
+        return CharClass.UPPER
+    if "a" <= char <= "z":
+        return CharClass.LOWER
+    if "0" <= char <= "9":
+        return CharClass.DIGIT
+    return CharClass.SYMBOL
+
+
+class GeneralizationTree:
+    """Explicit tree structure mirroring Figure 1.
+
+    The tree is small and fixed; this class exists so that code (and
+    tests) can reason about the hierarchy — parents, children, and the
+    generalization path from a leaf character up to ``\\A``.
+    """
+
+    ROOT = CharClass.ANY
+
+    def __init__(self) -> None:
+        self._children: Dict[CharClass, List[CharClass]] = {
+            CharClass.ANY: [
+                CharClass.UPPER,
+                CharClass.LOWER,
+                CharClass.DIGIT,
+                CharClass.SYMBOL,
+            ],
+            CharClass.UPPER: [],
+            CharClass.LOWER: [],
+            CharClass.DIGIT: [],
+            CharClass.SYMBOL: [],
+        }
+
+    def children(self, node: CharClass) -> List[CharClass]:
+        """Intermediate-node children of ``node`` (leaves are characters)."""
+        return list(self._children[node])
+
+    def parent(self, node: CharClass) -> Optional[CharClass]:
+        """Parent of an intermediate node, or None for the root."""
+        if node is CharClass.ANY:
+            return None
+        return CharClass.ANY
+
+    def leaf_parent(self, char: str) -> CharClass:
+        """The intermediate node directly above a leaf character."""
+        return classify_char(char)
+
+    def generalization_path(self, char: str) -> List[CharClass]:
+        """The chain of classes from a character's parent up to the root."""
+        parent = self.leaf_parent(char)
+        path = [parent]
+        while True:
+            up = self.parent(path[-1])
+            if up is None:
+                break
+            path.append(up)
+        return path
+
+    def is_ancestor(self, ancestor: CharClass, descendant: CharClass) -> bool:
+        """Whether ``ancestor`` generalizes ``descendant`` (reflexive)."""
+        if ancestor is descendant:
+            return True
+        return ancestor is CharClass.ANY
+
+    def classes(self) -> Iterable[CharClass]:
+        """All intermediate nodes."""
+        return list(CharClass)
+
+
+#: Singleton tree instance shared across the package.
+GENERALIZATION_TREE = GeneralizationTree()

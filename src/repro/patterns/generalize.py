@@ -1,0 +1,196 @@
+"""Learning patterns from data values.
+
+The discovery algorithm never enumerates the full pattern space.  It
+works upward from concrete values using the generalization tree: each
+character is replaced by its class, consecutive equal classes collapse
+into quantified runs, and runs learned from several values merge their
+repetition counts.  This module provides those operations plus the
+per-column :class:`PatternHistogram` that backs the profiling view
+(Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.patterns.alphabet import CharClass, classify_char
+from repro.patterns.pattern import Pattern
+from repro.patterns.syntax import ClassAtom, Element, Literal, ONE, Quantifier
+
+
+def _class_runs(value: str) -> List[Tuple[CharClass, int]]:
+    """Collapse a string into runs of (character class, length)."""
+    runs: List[Tuple[CharClass, int]] = []
+    for char in value:
+        char_class = classify_char(char)
+        if runs and runs[-1][0] is char_class:
+            runs[-1] = (char_class, runs[-1][1] + 1)
+        else:
+            runs.append((char_class, 1))
+    return runs
+
+
+def signature_of(value: str) -> Tuple[CharClass, ...]:
+    """The sequence of character classes of a value's runs.
+
+    Two values with the same signature generalize to the same run
+    structure; the signature is the grouping key used when merging values
+    into a single pattern.
+    """
+    return tuple(char_class for char_class, _length in _class_runs(value))
+
+
+def generalize_string(value: str, level: int = 1) -> Pattern:
+    """Generalize one value to a pattern at the requested level.
+
+    Levels correspond to walking up the generalization lattice:
+
+    * 0 — the literal value itself (most specific).
+    * 1 — class runs with exact repetition counts, e.g. ``90001`` →
+      ``\\D{5}`` and ``John`` → ``\\LU\\LL{3}``.
+    * 2 — class runs with ``+`` quantifiers, e.g. ``\\LU\\LL+``.
+    * 3 — the most general pattern ``\\A*``.
+    """
+    if level <= 0:
+        return Pattern.literal(value)
+    if level >= 3:
+        return Pattern.any_string()
+    elements: List[Element] = []
+    for char_class, length in _class_runs(value):
+        if level == 1:
+            quantifier = ONE if length == 1 else Quantifier(length, length)
+        else:
+            quantifier = Quantifier(1, None) if length >= 1 else ONE
+        elements.append(Element(ClassAtom(char_class), quantifier))
+    return Pattern(elements)
+
+
+def generalize_strings(values: Sequence[str]) -> Optional[Pattern]:
+    """Least-general pattern (within the run lattice) covering all values.
+
+    Returns None when the values do not share a run signature — callers
+    then either split the values by signature or fall back to ``\\A*``.
+    Empty input also returns None.
+    """
+    values = [v for v in values]
+    if not values:
+        return None
+    signatures = {signature_of(v) for v in values}
+    if len(signatures) != 1:
+        return None
+    signature = next(iter(signatures))
+    per_run_lengths: List[List[int]] = [[] for _ in signature]
+    for value in values:
+        for i, (_cls, length) in enumerate(_class_runs(value)):
+            per_run_lengths[i].append(length)
+    elements: List[Element] = []
+    for char_class, lengths in zip(signature, per_run_lengths):
+        low, high = min(lengths), max(lengths)
+        if low == high:
+            quantifier = ONE if low == 1 else Quantifier(low, low)
+        else:
+            quantifier = Quantifier(low, high)
+        elements.append(Element(ClassAtom(char_class), quantifier))
+    return Pattern(elements)
+
+
+def generalize_with_literal_prefix(values: Sequence[str], prefix_length: int) -> Optional[Pattern]:
+    """Pattern keeping the first ``prefix_length`` characters literal.
+
+    All values must share that literal prefix; the suffixes are
+    generalized with :func:`generalize_strings`.  This is how constant
+    PFD tableau patterns such as ``850\\D{7}`` and ``6060\\D`` are formed:
+    a shared literal prefix followed by a generalized remainder.
+    """
+    if not values:
+        return None
+    prefix = values[0][:prefix_length]
+    if len(prefix) < prefix_length:
+        return None
+    if any(not v.startswith(prefix) for v in values):
+        return None
+    suffixes = [v[prefix_length:] for v in values]
+    if all(s == "" for s in suffixes):
+        return Pattern.literal(prefix)
+    suffix_pattern = generalize_strings(suffixes)
+    if suffix_pattern is None:
+        if any(s == "" for s in suffixes):
+            return None
+        suffix_pattern = Pattern.any_string()
+    return Pattern.literal(prefix).concat(suffix_pattern)
+
+
+@dataclass
+class PatternCount:
+    """One row of a pattern histogram."""
+
+    pattern: Pattern
+    count: int
+    examples: List[str]
+
+    @property
+    def text(self) -> str:
+        return self.pattern.to_text()
+
+
+class PatternHistogram:
+    """Distribution of generalized patterns over a column.
+
+    This is the data behind the "Profiling and Listing the Patterns in
+    the Data" screen (Figure 3): every value is generalized to its
+    level-1 pattern and the histogram counts how many values share each
+    pattern.
+    """
+
+    def __init__(self, values: Iterable[str], level: int = 1, max_examples: int = 3):
+        counts: Dict[str, PatternCount] = {}
+        total = 0
+        for value in values:
+            total += 1
+            pattern = generalize_string(value, level=level)
+            key = pattern.to_text()
+            entry = counts.get(key)
+            if entry is None:
+                counts[key] = PatternCount(pattern, 1, [value])
+            else:
+                entry.count += 1
+                if len(entry.examples) < max_examples and value not in entry.examples:
+                    entry.examples.append(value)
+        self._counts = counts
+        self._total = total
+        self.level = level
+
+    @property
+    def total(self) -> int:
+        """Number of values profiled."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def entries(self) -> List[PatternCount]:
+        """Histogram rows, most frequent first."""
+        return sorted(self._counts.values(), key=lambda e: (-e.count, e.text))
+
+    def dominant_patterns(self, min_ratio: float = 0.05) -> List[PatternCount]:
+        """Rows whose share of the column is at least ``min_ratio``."""
+        if self._total == 0:
+            return []
+        return [e for e in self.entries() if e.count / self._total >= min_ratio]
+
+    def coverage_of(self, patterns: Sequence[Pattern]) -> float:
+        """Fraction of values matching at least one of ``patterns``."""
+        if self._total == 0:
+            return 0.0
+        covered = 0
+        for entry in self._counts.values():
+            if any(p.contains(entry.pattern) or p == entry.pattern for p in patterns):
+                covered += entry.count
+        return covered / self._total
+
+    def rare_patterns(self, max_ratio: float = 0.01) -> List[PatternCount]:
+        """Rows whose share is below ``max_ratio`` (candidate anomalies)."""
+        if self._total == 0:
+            return []
+        return [e for e in self.entries() if e.count / self._total < max_ratio]

@@ -1,0 +1,142 @@
+"""Parser for the paper's concrete pattern syntax.
+
+Examples of accepted patterns (all taken from the paper)::
+
+    \\D{5}                    five digits
+    \\D*                      any number of digits
+    900\\D{2}                 the literal ``900`` followed by two digits
+    John\\ \\A*               ``John``, a space, then anything
+    \\LU\\LL*\\ \\A*            capitalized word, space, anything
+    \\A*,\\ Donald\\A*          anything, ``, ``, ``Donald``, anything
+
+Grammar (no alternation, no grouping, no nested quantifiers)::
+
+    pattern    := element*
+    element    := atom quantifier?
+    atom       := class | literal
+    class      := '\\A' | '\\LU' | '\\LL' | '\\D' | '\\S'
+    literal    := any non-special character | '\\' special character
+    quantifier := '{' INT (',' INT?)? '}' | '+' | '*'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import PatternSyntaxError
+from repro.patterns.alphabet import CharClass
+from repro.patterns.syntax import (
+    ClassAtom,
+    Element,
+    Literal,
+    ONE,
+    PLUS,
+    Quantifier,
+    STAR,
+)
+
+#: Class tokens, longest first so that ``\LU``/``\LL`` win over a would-be
+#: single-letter escape.
+_CLASS_TOKENS: List[Tuple[str, CharClass]] = [
+    ("LU", CharClass.UPPER),
+    ("LL", CharClass.LOWER),
+    ("A", CharClass.ANY),
+    ("D", CharClass.DIGIT),
+    ("S", CharClass.SYMBOL),
+]
+
+_QUANTIFIER_STARTERS = {"{", "+", "*"}
+
+
+class _Cursor:
+    """A tiny character cursor with error reporting context."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if not self.eof() else ""
+
+    def advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def error(self, message: str) -> PatternSyntaxError:
+        return PatternSyntaxError(
+            f"{message} (at position {self.pos} in {self.text!r})",
+            text=self.text,
+            position=self.pos,
+        )
+
+
+def _parse_atom(cursor: _Cursor):
+    char = cursor.advance()
+    if char != "\\":
+        if char in _QUANTIFIER_STARTERS:
+            raise cursor.error(f"unexpected quantifier character {char!r} with no atom")
+        return Literal(char)
+    if cursor.eof():
+        raise cursor.error("dangling backslash at end of pattern")
+    for token, char_class in _CLASS_TOKENS:
+        if cursor.text.startswith(token, cursor.pos):
+            cursor.pos += len(token)
+            return ClassAtom(char_class)
+    # escaped literal, e.g. "\ " (space), "\\", "\{"
+    return Literal(cursor.advance())
+
+
+def _parse_int(cursor: _Cursor) -> int:
+    digits = ""
+    while not cursor.eof() and cursor.peek().isdigit():
+        digits += cursor.advance()
+    if not digits:
+        raise cursor.error("expected an integer in quantifier")
+    return int(digits)
+
+
+def _parse_quantifier(cursor: _Cursor) -> Quantifier:
+    char = cursor.peek()
+    if char == "*":
+        cursor.advance()
+        return STAR
+    if char == "+":
+        cursor.advance()
+        return PLUS
+    if char == "{":
+        cursor.advance()
+        minimum = _parse_int(cursor)
+        maximum: Optional[int] = minimum
+        if cursor.peek() == ",":
+            cursor.advance()
+            if cursor.peek() == "}":
+                maximum = None
+            else:
+                maximum = _parse_int(cursor)
+        if cursor.peek() != "}":
+            raise cursor.error("unterminated quantifier, expected '}'")
+        cursor.advance()
+        return Quantifier(minimum, maximum)
+    return ONE
+
+
+def parse_elements(text: str) -> List[Element]:
+    """Parse pattern text into a list of elements."""
+    cursor = _Cursor(text)
+    elements: List[Element] = []
+    while not cursor.eof():
+        atom = _parse_atom(cursor)
+        quantifier = _parse_quantifier(cursor)
+        elements.append(Element(atom, quantifier))
+    return elements
+
+
+def parse_pattern(text: str):
+    """Parse pattern text into a :class:`~repro.patterns.pattern.Pattern`."""
+    from repro.patterns.pattern import Pattern
+
+    return Pattern(parse_elements(text), source=text)

@@ -1,0 +1,64 @@
+"""Compilation of patterns to Python regular expressions.
+
+The paper's error detection engine "creates an index supporting regular
+expressions for each column present on the LHS of the PFDs"; our fast
+matching backend is Python's ``re`` module.  Every pattern in the
+restricted language maps directly onto a regex, so compilation never
+fails; the function still returns ``Optional`` so callers can fall back
+to NFA simulation defensively.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.patterns.alphabet import CharClass
+from repro.patterns.syntax import ClassAtom, Element, Literal
+
+_CLASS_REGEX = {
+    CharClass.ANY: r"[\s\S]",
+    CharClass.UPPER: r"[A-Z]",
+    CharClass.LOWER: r"[a-z]",
+    CharClass.DIGIT: r"[0-9]",
+    CharClass.SYMBOL: r"[^A-Za-z0-9]",
+}
+
+
+def _atom_regex(atom) -> str:
+    if isinstance(atom, Literal):
+        return re.escape(atom.char)
+    if isinstance(atom, ClassAtom):
+        return _CLASS_REGEX[atom.char_class]
+    raise TypeError(f"unknown atom type {atom!r}")
+
+
+def element_to_regex(element: Element) -> str:
+    """Render one quantified atom as regex source text."""
+    body = _atom_regex(element.atom)
+    quantifier = element.quantifier
+    if quantifier.is_single:
+        return body
+    if quantifier.is_star:
+        return body + "*"
+    if quantifier.is_plus:
+        return body + "+"
+    if quantifier.maximum == quantifier.minimum:
+        return "%s{%d}" % (body, quantifier.minimum)
+    if quantifier.maximum is None:
+        return "%s{%d,}" % (body, quantifier.minimum)
+    return "%s{%d,%d}" % (body, quantifier.minimum, quantifier.maximum)
+
+
+def pattern_to_regex_source(pattern) -> str:
+    """Regex source (no anchors) equivalent to the pattern."""
+    return "".join(element_to_regex(e) for e in pattern.elements)
+
+
+def compile_to_regex(pattern) -> Optional["re.Pattern[str]"]:
+    """Compile a pattern to a Python regex object (full-match semantics
+    are applied by callers via ``fullmatch``)."""
+    try:
+        return re.compile(pattern_to_regex_source(pattern))
+    except re.error:  # pragma: no cover - defensive, grammar prevents this
+        return None

@@ -1,0 +1,122 @@
+"""Functional dependencies and embedded FDs.
+
+The embedded FD of a PFD is a classical FD ``X → Y`` over the schema; it
+names the attributes the tableau's patterns apply to.  The same class is
+reused by the baseline FD/CFD miners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.dataset.table import Table
+from repro.errors import ConstraintError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A classical FD ``lhs → rhs`` over attribute names."""
+
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.lhs or not self.rhs:
+            raise ConstraintError("an FD needs non-empty LHS and RHS attribute sets")
+        overlap = set(self.lhs) & set(self.rhs)
+        if overlap:
+            raise ConstraintError(f"attributes {sorted(overlap)} appear on both sides")
+
+    @classmethod
+    def of(cls, lhs: Iterable[str] | str, rhs: Iterable[str] | str) -> "FunctionalDependency":
+        """Build an FD, accepting single attribute names or iterables."""
+        if isinstance(lhs, str):
+            lhs = (lhs,)
+        if isinstance(rhs, str):
+            rhs = (rhs,)
+        return cls(tuple(lhs), tuple(rhs))
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self.lhs + self.rhs
+
+    def holds_on(self, table: Table) -> bool:
+        """Whether the FD holds exactly on the table (no violating pair)."""
+        return not self.violating_pairs(table, limit=1)
+
+    def violating_pairs(self, table: Table, limit: int | None = None) -> List[Tuple[int, int]]:
+        """Pairs of row indexes that agree on the LHS but differ on RHS."""
+        groups = {}
+        for i in range(table.n_rows):
+            key = tuple(table.cell(i, a) for a in self.lhs)
+            groups.setdefault(key, []).append(i)
+        violations: List[Tuple[int, int]] = []
+        for rows in groups.values():
+            if len(rows) < 2:
+                continue
+            by_rhs = {}
+            for row in rows:
+                rhs_value = tuple(table.cell(row, a) for a in self.rhs)
+                by_rhs.setdefault(rhs_value, []).append(row)
+            if len(by_rhs) < 2:
+                continue
+            rhs_groups = list(by_rhs.values())
+            for gi in range(len(rhs_groups)):
+                for gj in range(gi + 1, len(rhs_groups)):
+                    for left in rhs_groups[gi]:
+                        for right in rhs_groups[gj]:
+                            violations.append((min(left, right), max(left, right)))
+                            if limit is not None and len(violations) >= limit:
+                                return violations
+        return violations
+
+    def g3_error(self, table: Table) -> float:
+        """The g3 error: the minimum fraction of rows to delete so the FD
+        holds.  Used by the approximate-FD baseline miner."""
+        if table.n_rows == 0:
+            return 0.0
+        groups = {}
+        for i in range(table.n_rows):
+            key = tuple(table.cell(i, a) for a in self.lhs)
+            groups.setdefault(key, []).append(i)
+        keep = 0
+        for rows in groups.values():
+            by_rhs = {}
+            for row in rows:
+                rhs_value = tuple(table.cell(row, a) for a in self.rhs)
+                by_rhs[rhs_value] = by_rhs.get(rhs_value, 0) + 1
+            keep += max(by_rhs.values())
+        return 1.0 - keep / table.n_rows
+
+    def __str__(self) -> str:
+        return f"{', '.join(self.lhs)} -> {', '.join(self.rhs)}"
+
+
+class EmbeddedFD(FunctionalDependency):
+    """The FD embedded in a PFD.
+
+    The paper's discovery algorithm only considers single-attribute
+    LHS/RHS dependencies (``A → B``); this subclass enforces that and
+    exposes convenience accessors for the two attribute names.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.lhs) != 1 or len(self.rhs) != 1:
+            raise ConstraintError(
+                "an embedded FD relates exactly one LHS attribute to one RHS "
+                f"attribute, got {self.lhs} -> {self.rhs}"
+            )
+
+    @property
+    def lhs_attribute(self) -> str:
+        return self.lhs[0]
+
+    @property
+    def rhs_attribute(self) -> str:
+        return self.rhs[0]
+
+    @classmethod
+    def between(cls, lhs: str, rhs: str) -> "EmbeddedFD":
+        return cls((lhs,), (rhs,))

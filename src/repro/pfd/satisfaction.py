@@ -1,0 +1,128 @@
+"""Satisfaction semantics: does a table satisfy a PFD?
+
+This module defines what it means for a table to satisfy or violate a
+PFD independently of the (index-accelerated) detection engine in
+:mod:`repro.detection`; the detection engine's results are validated
+against these reference semantics in the test-suite.
+
+* A tuple ``t`` violates a **constant rule** ``(tp[A] → tp[B]=b)`` when
+  ``t[A] ↦ tp[A]`` and ``t[B] ≠ b``.
+* A pair ``(ti, tj)`` violates a **variable rule** ``(tp[A]=Q → tp[B]=⊥)``
+  when ``ti[A] ≡_Q tj[A]`` and ``ti[B] ≠ tj[B]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.dataset.table import Table
+from repro.patterns.pattern import Pattern
+from repro.pfd.pfd import PFD
+from repro.pfd.tableau import TableauRow, Wildcard, cell_matches
+
+
+@dataclass
+class SatisfactionReport:
+    """Outcome of checking one PFD against a table."""
+
+    pfd: PFD
+    n_rows: int
+    #: rows violating some constant rule: (row index, tableau row index)
+    constant_violations: List[Tuple[int, int]] = field(default_factory=list)
+    #: row pairs violating some variable rule: (row i, row j, tableau row index)
+    variable_violations: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def satisfied(self) -> bool:
+        return not self.constant_violations and not self.variable_violations
+
+    @property
+    def violating_rows(self) -> List[int]:
+        """Distinct row indexes involved in any violation, sorted."""
+        rows = {row for row, _rule in self.constant_violations}
+        for left, right, _rule in self.variable_violations:
+            rows.add(left)
+            rows.add(right)
+        return sorted(rows)
+
+    @property
+    def violation_ratio(self) -> float:
+        """Violating rows as a fraction of all rows."""
+        if self.n_rows == 0:
+            return 0.0
+        return len(self.violating_rows) / self.n_rows
+
+
+def _lhs_matches(cell, value: str) -> bool:
+    return cell_matches(cell, value)
+
+
+def find_tableau_violations(table: Table, pfd: PFD) -> SatisfactionReport:
+    """Reference (unoptimized) violation finder.
+
+    Constant rules are checked with a single scan; variable rules with a
+    full pairwise comparison inside each matching set.  The detection
+    engine produces the same violations faster.
+    """
+    report = SatisfactionReport(pfd=pfd, n_rows=table.n_rows)
+    lhs_attribute = pfd.lhs_attribute
+    rhs_attribute = pfd.rhs_attribute
+    lhs_values = table.column_ref(lhs_attribute)
+    rhs_values = table.column_ref(rhs_attribute)
+
+    for rule_index, rule in enumerate(pfd.tableau):
+        lhs_cell = rule.cell(lhs_attribute)
+        rhs_cell = rule.cell(rhs_attribute)
+        if isinstance(rhs_cell, Wildcard):
+            _check_variable_rule(
+                report, rule_index, lhs_cell, lhs_values, rhs_values
+            )
+        else:
+            for row in range(table.n_rows):
+                if not _lhs_matches(lhs_cell, lhs_values[row]):
+                    continue
+                if not cell_matches(rhs_cell, rhs_values[row]):
+                    report.constant_violations.append((row, rule_index))
+    return report
+
+
+def _check_variable_rule(
+    report: SatisfactionReport,
+    rule_index: int,
+    lhs_cell,
+    lhs_values: Sequence[str],
+    rhs_values: Sequence[str],
+) -> None:
+    n = len(lhs_values)
+    if isinstance(lhs_cell, ConstrainedPattern):
+        equivalent = lhs_cell.equivalent
+        matches = lhs_cell.matches
+    elif isinstance(lhs_cell, Pattern):
+        # A plain pattern on the LHS of a variable rule means "values that
+        # match the pattern and are equal" — the whole value is constrained.
+        constrained = ConstrainedPattern.whole_value(lhs_cell)
+        equivalent = constrained.equivalent
+        matches = constrained.matches
+    elif isinstance(lhs_cell, str):
+        equivalent = lambda a, b: a == lhs_cell and b == lhs_cell  # noqa: E731
+        matches = lambda a: a == lhs_cell  # noqa: E731
+    else:  # wildcard LHS: every pair of rows is comparable
+        equivalent = lambda a, b: True  # noqa: E731
+        matches = lambda a: True  # noqa: E731
+
+    matching_rows = [i for i in range(n) if matches(lhs_values[i])]
+    for index_i in range(len(matching_rows)):
+        i = matching_rows[index_i]
+        for index_j in range(index_i + 1, len(matching_rows)):
+            j = matching_rows[index_j]
+            if rhs_values[i] == rhs_values[j]:
+                continue
+            if equivalent(lhs_values[i], lhs_values[j]):
+                report.variable_violations.append((i, j, rule_index))
+
+
+def check_satisfaction(table: Table, pfd: PFD) -> bool:
+    """Whether the table satisfies the PFD (no violations at all)."""
+    return find_tableau_violations(table, pfd).satisfied

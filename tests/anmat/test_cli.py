@@ -1,0 +1,72 @@
+"""Tests for the ``anmat`` command-line interface."""
+
+import pytest
+
+from repro.anmat.cli import build_parser, main
+from repro.dataset.csvio import write_csv
+from repro.datagen import build_dataset
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices(self):
+        args = build_parser().parse_args(["discover", "--dataset", "phone_state"])
+        assert args.dataset == "phone_state"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "phone_state" in out
+        assert "zip_city_state" in out
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--dataset", "paper_d2_zip"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern::position, frequency" in out
+
+    def test_discover_command(self, capsys):
+        code = main(
+            [
+                "discover",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.5",
+                "--allowed-violations", "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Discovered" in out
+
+    def test_detect_command_with_score(self, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset", "phone_state",
+                "--min-coverage", "0.5",
+                "--score",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "violations over" in out
+        assert "precision=" in out
+
+    def test_detect_with_strategy(self, capsys):
+        code = main(["detect", "--dataset", "paper_d2_zip", "--min-coverage", "0.4",
+                     "--allowed-violations", "0.3", "--strategy", "scan"])
+        assert code == 0
+
+    def test_csv_input(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        assert main(["discover", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Discovered" in out

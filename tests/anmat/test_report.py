@@ -1,0 +1,90 @@
+"""Tests for the Figure 3/4/5 and Table 3 report renderers."""
+
+import pytest
+
+from repro.anmat.report import (
+    render_discovered_pfds,
+    render_profile,
+    render_table3,
+    render_violations,
+)
+from repro.anmat.session import AnmatSession
+from repro.dataset.profiling import profile_table
+from repro.detection.detector import ErrorDetector
+from repro.discovery.discoverer import PfdDiscoverer
+
+
+@pytest.fixture(scope="module")
+def session(request):
+    dataset = request.getfixturevalue("small_zip_city_state")
+    session = AnmatSession(dataset_name="zips")
+    session.load_table(dataset.table)
+    session.run_profiling()
+    session.run_discovery()
+    session.confirm_all()
+    session.run_detection()
+    return session
+
+
+class TestRenderProfile:
+    def test_contains_pattern_position_frequency_rows(self, session):
+        text = render_profile(session.profile)
+        assert "pattern::position, frequency" in text
+        assert "\\D{5}::0," in text
+        assert "Column 'zip'" in text
+
+    def test_mentions_row_count(self, session):
+        assert f"Profiled {session.table.n_rows} rows" in render_profile(session.profile)
+
+    def test_handles_empty_columns(self, mixed_table):
+        extended = mixed_table.with_column("blank", [""] * mixed_table.n_rows)
+        text = render_profile(profile_table(extended))
+        assert "Column 'blank'" in text
+
+
+class TestRenderDiscoveredPfds:
+    def test_lists_every_pfd_with_tableau(self, session):
+        text = render_discovered_pfds(session.discovery, session.confirmed_names)
+        for pfd in session.discovered_pfds():
+            assert pfd.name in text
+        assert "confirmed" in text
+        assert "zip | city" in text or "zip | state" in text
+
+    def test_pending_marker_without_confirmation(self, session):
+        text = render_discovered_pfds(session.discovery, confirmed=[])
+        assert "[pending]" in text
+
+
+class TestRenderViolations:
+    def test_lists_violations_with_records(self, session):
+        text = render_violations(session.violations, session.table, max_rows=10)
+        assert "violations over" in text
+        assert "violated rule" in text
+
+    def test_truncation_notice(self, session):
+        if len(session.violations) > 1:
+            text = render_violations(session.violations, session.table, max_rows=1)
+            assert "more violations" in text
+
+    def test_empty_report(self, session):
+        from repro.detection.violation import ViolationReport
+
+        text = render_violations(ViolationReport(n_rows=5), session.table)
+        assert "(no violations)" in text
+
+
+class TestRenderTable3:
+    def test_table3_shape(self, small_phone_state, small_fullname_gender):
+        entries = []
+        for label, dataset, lhs, rhs in (
+            ("D1", small_phone_state, "phone_number", "state"),
+            ("D2", small_fullname_gender, "full_name", "gender"),
+        ):
+            result = PfdDiscoverer().discover_with_report(dataset.table)
+            pfd = result.pfds_for(lhs, rhs)[0]
+            report = ErrorDetector(dataset.table).detect(pfd)
+            entries.append((label, f"{lhs} → {rhs}", pfd, report, dataset.table))
+        text = render_table3(entries)
+        assert "Data" in text and "Pattern Tableau" in text and "Errors" in text
+        assert "D1" in text and "D2" in text
+        assert "→" in text

@@ -1,0 +1,111 @@
+"""Tests for the AnmatSession workflow (upload → profile → discover →
+confirm → detect)."""
+
+import pytest
+
+from repro.anmat.project import ProjectStore
+from repro.anmat.session import AnmatSession, SessionState
+from repro.discovery.config import DiscoveryConfig
+from repro.errors import ProjectError
+from repro.metrics.evaluation import evaluate_report
+
+
+class TestWorkflowOrder:
+    def test_initial_state(self):
+        session = AnmatSession(dataset_name="demo")
+        assert session.state is SessionState.CREATED
+        with pytest.raises(ProjectError):
+            session.run_profiling()
+        with pytest.raises(ProjectError):
+            session.run_discovery()
+
+    def test_detection_requires_confirmed_pfds(self, small_zip_city_state):
+        session = AnmatSession(dataset_name="demo")
+        session.load_table(small_zip_city_state.table)
+        session.run_discovery()
+        with pytest.raises(ProjectError):
+            session.run_detection()
+
+    def test_confirm_unknown_name(self, small_zip_city_state):
+        session = AnmatSession(dataset_name="demo")
+        session.load_table(small_zip_city_state.table)
+        session.run_discovery()
+        with pytest.raises(ProjectError):
+            session.confirm(["not-a-pfd"])
+
+
+class TestFullWorkflow:
+    @pytest.fixture
+    def session(self, small_zip_city_state):
+        session = AnmatSession(dataset_name="zips")
+        session.load_table(small_zip_city_state.table)
+        session.set_parameters(min_coverage=0.6, allowed_violation_ratio=0.05)
+        return session
+
+    def test_states_advance(self, session):
+        assert session.state is SessionState.LOADED
+        session.run_profiling()
+        assert session.state is SessionState.PROFILED
+        session.run_discovery()
+        assert session.state is SessionState.DISCOVERED
+        session.confirm_all()
+        session.run_detection()
+        assert session.state is SessionState.DETECTED
+
+    def test_parameters_are_applied(self, session):
+        assert session.config.min_coverage == 0.6
+        session.set_parameters(min_coverage=0.9)
+        assert session.config.min_coverage == 0.9
+
+    def test_discovery_profiles_implicitly(self, session):
+        session.run_discovery()
+        assert session.profile is not None
+
+    def test_confirm_subset(self, session):
+        session.run_discovery()
+        names = [pfd.name for pfd in session.discovered_pfds()]
+        session.confirm(names[:1])
+        assert len(session.confirmed_pfds()) == 1
+        report = session.run_detection()
+        assert report is session.violations
+
+    def test_detection_finds_injected_errors(self, session, small_zip_city_state):
+        session.run_discovery()
+        session.confirm_all()
+        report = session.run_detection()
+        evaluation = evaluate_report(report, small_zip_city_state.error_cells)
+        assert evaluation.recall >= 0.8
+
+    def test_repair_suggestions_follow_detection(self, session):
+        assert session.repair_suggestions() == []
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        suggestions = session.repair_suggestions()
+        assert suggestions
+        assert all(s.suggested_value != s.current_value for s in suggestions)
+
+    def test_summary_contents(self, session):
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        summary = session.summary()
+        assert summary["dataset"] == "zips"
+        assert summary["n_pfds"] >= summary["n_confirmed"] > 0
+        assert summary["n_violations"] == len(session.violations)
+
+
+class TestProjectIntegration:
+    def test_session_persists_into_project(self, tmp_path, small_phone_state):
+        project = ProjectStore(tmp_path).create_project("phones")
+        session = AnmatSession(
+            dataset_name="d1", project=project, config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(small_phone_state.table)
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        # the dataset, the PFDs and the detection summary are all on disk
+        assert project.load_dataset("d1").n_rows == small_phone_state.table.n_rows
+        assert project.load_pfds("d1")
+        assert project.load_results("d1")["n_violations"] == len(session.violations)

@@ -1,0 +1,111 @@
+"""Tests for constant-CFD discovery and the FD/CFD violation detectors."""
+
+import pytest
+
+from repro.baselines.cfd_discovery import CfdDiscoveryConfig, discover_constant_cfds
+from repro.baselines.fd_detection import detect_cfd_violations, detect_fd_violations
+from repro.dataset.table import Table
+from repro.pfd.fd import FunctionalDependency
+
+
+@pytest.fixture
+def zip_city_table():
+    return Table.from_rows(
+        ["zip", "city"],
+        [
+            ["90001", "Los Angeles"],
+            ["90001", "Los Angeles"],
+            ["90001", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90002", "Los Angeles"],
+            ["90002", "New York"],  # error
+            ["60601", "Chicago"],
+            ["60601", "Chicago"],
+        ],
+    )
+
+
+class TestCfdDiscovery:
+    def test_discovers_frequent_value_rules(self, zip_city_table):
+        cfds = discover_constant_cfds(zip_city_table, CfdDiscoveryConfig(min_support=2, min_confidence=0.9))
+        by_pair = {(c.lhs_attribute, c.rhs_attribute): c for c in cfds}
+        assert ("zip", "city") in by_pair
+        rules = {r.lhs_value: r.rhs_value for r in by_pair[("zip", "city")].rules}
+        assert rules["90001"] == "Los Angeles"
+        assert rules["60601"] == "Chicago"
+        # 90002 has confidence 0.5 and is rejected
+        assert "90002" not in rules
+
+    def test_min_support(self, zip_city_table):
+        cfds = discover_constant_cfds(zip_city_table, CfdDiscoveryConfig(min_support=3))
+        rules = {
+            r.lhs_value
+            for c in cfds
+            if (c.lhs_attribute, c.rhs_attribute) == ("zip", "city")
+            for r in c.rules
+        }
+        assert rules == {"90001"}
+
+    def test_unique_lhs_columns_are_skipped(self):
+        table = Table.from_rows(
+            ["row_id", "label"],
+            [[f"id{i}", "x"] for i in range(20)],
+        )
+        cfds = discover_constant_cfds(table)
+        assert all(c.lhs_attribute != "row_id" for c in cfds)
+
+    def test_describe(self, zip_city_table):
+        cfds = discover_constant_cfds(zip_city_table)
+        target = [c for c in cfds if (c.lhs_attribute, c.rhs_attribute) == ("zip", "city")][0]
+        assert "zip=" in target.describe()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CfdDiscoveryConfig(min_support=0)
+        with pytest.raises(ValueError):
+            CfdDiscoveryConfig(min_confidence=0.0)
+
+
+class TestFdDetection:
+    def test_flags_minority_rows_of_violating_groups(self, zip_city_table):
+        fd = FunctionalDependency.of("zip", "city")
+        report = detect_fd_violations(zip_city_table, [fd])
+        assert report.suspect_cells() == {(5, "city")}
+
+    def test_no_violations_on_clean_groups(self):
+        table = Table.from_rows(
+            ["zip", "city"], [["1", "A"], ["1", "A"], ["2", "B"]]
+        )
+        report = detect_fd_violations(table, [FunctionalDependency.of("zip", "city")])
+        assert report.is_empty()
+
+    def test_unique_lhs_detects_nothing(self, small_phone_state):
+        # The key limitation the paper stresses: an FD over unique phone
+        # numbers can never flag anything.
+        fd = FunctionalDependency.of("phone_number", "state")
+        report = detect_fd_violations(small_phone_state.table, [fd])
+        assert report.is_empty()
+
+    def test_empty_lhs_values_are_ignored(self):
+        table = Table.from_rows(["a", "b"], [["", "x"], ["", "y"], ["k", "z"]])
+        report = detect_fd_violations(table, [FunctionalDependency.of("a", "b")])
+        assert report.is_empty()
+
+
+class TestCfdDetection:
+    def test_flags_rows_disagreeing_with_rule(self, zip_city_table):
+        cfds = discover_constant_cfds(zip_city_table)
+        report = detect_cfd_violations(zip_city_table, cfds)
+        suspects = report.suspect_cells()
+        assert (5, "city") not in suspects  # 90002 never formed a rule
+        # the three 90001 rows agree, so they are not flagged
+        assert all(row not in (0, 1, 2) for row, _ in suspects)
+
+    def test_detects_injected_error_with_rule_from_clean_value(self):
+        table = Table.from_rows(
+            ["zip", "city"],
+            [["90001", "Los Angeles"]] * 5 + [["90001", "New York"]],
+        )
+        cfds = discover_constant_cfds(table, CfdDiscoveryConfig(min_confidence=0.8))
+        report = detect_cfd_violations(table, cfds)
+        assert report.suspect_cells() == {(5, "city")}

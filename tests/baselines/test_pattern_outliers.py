@@ -1,0 +1,47 @@
+"""Tests for the Auto-Detect-style pattern outlier baseline."""
+
+import pytest
+
+from repro.baselines.pattern_outliers import PatternOutlierConfig, PatternOutlierDetector
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def state_table():
+    rows = [["IL"]] * 60 + [["CA"]] * 40 + [["lL"]] + [["Chciago"]]
+    return Table(["state"], [sum(rows, [])])
+
+
+class TestPatternOutliers:
+    def test_flags_syntactic_anomalies(self, state_table):
+        detector = PatternOutlierDetector(PatternOutlierConfig(max_pattern_ratio=0.05))
+        report = detector.detect(state_table)
+        flagged_values = {state_table.cell(row, "state") for row, _ in report.suspect_cells()}
+        assert flagged_values == {"lL", "Chciago"}
+
+    def test_misses_wrong_but_well_formed_values(self, small_phone_state):
+        # Swapped states are valid two-letter codes: the outlier detector
+        # cannot see them.  This is the asymmetry E10 demonstrates.
+        detector = PatternOutlierDetector()
+        report = detector.detect(small_phone_state.table, columns=["state"])
+        flagged = report.suspect_cells()
+        truth = small_phone_state.error_cells
+        assert not (flagged & truth)
+
+    def test_small_columns_are_skipped(self):
+        table = Table.from_rows(["x"], [["a"], ["b"], ["###"]])
+        report = PatternOutlierDetector().detect(table)
+        assert report.is_empty()
+
+    def test_column_selection(self, state_table):
+        detector = PatternOutlierDetector(PatternOutlierConfig(max_pattern_ratio=0.05))
+        report = detector.detect(state_table, columns=[])
+        assert report.is_empty()
+
+    def test_violations_carry_column_as_both_sides(self, state_table):
+        detector = PatternOutlierDetector(PatternOutlierConfig(max_pattern_ratio=0.05))
+        report = detector.detect(state_table)
+        for violation in report:
+            assert violation.lhs_attribute == "state"
+            assert violation.rhs_attribute == "state"
+            assert violation.expected_value is None

@@ -1,0 +1,84 @@
+"""Tests for the restriction relation between constrained patterns."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.constrained.restriction import is_restriction_of
+
+
+def cp(text: str) -> ConstrainedPattern:
+    return ConstrainedPattern.parse(text)
+
+
+class TestExample2:
+    """Example 2 of the paper: Q2 ⊆ Q1 (Q2 is a restriction of Q1)."""
+
+    def test_q2_is_a_restriction_of_q1(self):
+        q1 = cp("⟨\\LU\\LL*\\ ⟩\\A*")
+        q2 = cp("⟨\\LU\\LL*\\ ⟩\\A*\\ ⟨\\LU\\LL*⟩")
+        assert is_restriction_of(q2, q1)
+
+    def test_q1_is_not_a_restriction_of_q2(self):
+        q1 = cp("⟨\\LU\\LL*\\ ⟩\\A*")
+        q2 = cp("⟨\\LU\\LL*\\ ⟩\\A*\\ ⟨\\LU\\LL*⟩")
+        assert not is_restriction_of(q1, q2)
+
+
+class TestPrefixFamilies:
+    def test_longer_prefix_is_a_restriction_of_shorter(self):
+        longer = cp("⟨\\D{4}⟩\\D")
+        shorter = cp("⟨\\D{3}⟩\\D{2}")
+        assert is_restriction_of(longer, shorter)
+        assert not is_restriction_of(shorter, longer)
+
+    def test_reflexive(self):
+        q = cp("⟨\\D{3}⟩\\D{2}")
+        assert is_restriction_of(q, q)
+
+    def test_unrelated_shapes(self):
+        zip_prefix = cp("⟨\\D{3}⟩\\D{2}")
+        name_prefix = cp("⟨\\LU\\LL*\\ ⟩\\A*")
+        assert not is_restriction_of(zip_prefix, name_prefix)
+        assert not is_restriction_of(name_prefix, zip_prefix)
+
+    def test_whole_value_is_a_restriction_of_prefix(self):
+        whole = cp("⟨\\D{5}⟩")
+        prefix = cp("⟨\\D{3}⟩\\D{2}")
+        assert is_restriction_of(whole, prefix)
+
+
+class TestSemanticSoundness:
+    """is_restriction_of(Q, Q') must imply: s ≡_Q s' ⇒ s ≡_Q' s' (checked on
+    randomized concrete string pairs for the generated families)."""
+
+    PAIRS = [
+        ("⟨\\D{4}⟩\\D", "⟨\\D{3}⟩\\D{2}"),
+        ("⟨\\D{5}⟩", "⟨\\D{3}⟩\\D{2}"),
+        ("⟨\\LU\\LL*\\ ⟩\\A*\\ ⟨\\LU\\LL*⟩", "⟨\\LU\\LL*\\ ⟩\\A*"),
+    ]
+
+    @pytest.mark.parametrize("restricted_text,general_text", PAIRS)
+    def test_equivalence_implication_on_samples(self, restricted_text, general_text):
+        restricted = cp(restricted_text)
+        general = cp(general_text)
+        assert is_restriction_of(restricted, general)
+        rng = random.Random(7)
+        samples = _sample_strings(rng)
+        for left, right in itertools.combinations(samples, 2):
+            if restricted.equivalent(left, right):
+                assert general.equivalent(left, right), (left, right)
+
+
+def _sample_strings(rng, count=30):
+    """Digit strings and name-like strings exercising both families."""
+    samples = []
+    for _ in range(count // 2):
+        samples.append("".join(rng.choice("0123456789") for _ in range(5)))
+    first_names = ["John", "Susan", "Donald", "Stacey"]
+    last_names = ["Boyle", "Charles", "Orlean", "Bosco"]
+    for _ in range(count // 2):
+        samples.append(f"{rng.choice(first_names)} {rng.choice(last_names)}")
+    return samples

@@ -1,0 +1,79 @@
+"""Tests for CSV input/output."""
+
+import pytest
+
+from repro.dataset.csvio import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.dataset.schema import DataType
+from repro.dataset.table import Table
+from repro.errors import CsvFormatError
+
+SAMPLE = "zip,city\n90001,Los Angeles\n90002,Los Angeles\n60601,Chicago\n"
+
+
+class TestReadCsvText:
+    def test_reads_header_and_rows(self):
+        table = read_csv_text(SAMPLE)
+        assert table.column_names() == ["zip", "city"]
+        assert table.n_rows == 3
+        assert table.cell(2, "city") == "Chicago"
+
+    def test_type_inference_marks_zip_as_integer(self):
+        table = read_csv_text(SAMPLE)
+        assert table.schema["zip"].dtype is DataType.INTEGER
+        assert table.schema["city"].dtype is DataType.STRING
+
+    def test_type_inference_can_be_disabled(self):
+        table = read_csv_text(SAMPLE, infer_types=False)
+        assert table.schema["zip"].dtype is DataType.STRING
+
+    def test_quoted_fields_with_commas(self):
+        text = 'name,city\n"Smith, John",Boston\n'
+        table = read_csv_text(text)
+        assert table.cell(0, "name") == "Smith, John"
+
+    def test_no_header_with_names(self):
+        table = read_csv_text("1,2\n3,4\n", header=False, column_names=["a", "b"])
+        assert table.n_rows == 2
+        assert table.cell(0, "a") == "1"
+
+    def test_no_header_without_names_is_an_error(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("1,2\n", header=False)
+
+    def test_ragged_row_is_an_error(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("a,b\n1,2\n3\n")
+
+    def test_duplicate_header_is_an_error(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("a,a\n1,2\n")
+
+    def test_empty_document_is_an_error(self):
+        with pytest.raises(CsvFormatError):
+            read_csv_text("")
+
+    def test_alternative_delimiter(self):
+        table = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert table.cell(0, "b") == "2"
+
+    def test_header_only_yields_zero_rows(self):
+        table = read_csv_text("a,b\n")
+        assert table.n_rows == 0
+
+
+class TestRoundTrip:
+    def test_write_and_read_file(self, tmp_path):
+        original = read_csv_text(SAMPLE, infer_types=False)
+        path = write_csv(original, tmp_path / "zips.csv")
+        loaded = read_csv(path, infer_types=False)
+        assert loaded == original
+
+    def test_to_csv_text_round_trip(self):
+        original = Table.from_rows(["a", "b"], [["x,y", "2"], ["", "3"]])
+        text = to_csv_text(original)
+        assert read_csv_text(text, infer_types=False) == original
+
+    def test_write_without_header(self, tmp_path):
+        table = Table.from_rows(["a"], [["1"], ["2"]])
+        path = write_csv(table, tmp_path / "no_header.csv", header=False)
+        assert path.read_text().strip().splitlines() == ["1", "2"]

@@ -1,0 +1,60 @@
+"""Tests for column type inference."""
+
+from repro.dataset.inference import infer_column_type, infer_schema
+from repro.dataset.schema import DataType
+from repro.dataset.table import Table
+
+
+class TestInferColumnType:
+    def test_integers(self):
+        assert infer_column_type(["1", "42", "-7", "+3"]) is DataType.INTEGER
+
+    def test_floats(self):
+        assert infer_column_type(["1.5", "2.0", "-0.25"]) is DataType.FLOAT
+
+    def test_integers_plus_floats_are_float(self):
+        assert infer_column_type(["1", "2.5"]) is DataType.FLOAT
+
+    def test_booleans(self):
+        assert infer_column_type(["true", "False", "YES", "no"]) is DataType.BOOLEAN
+
+    def test_strings(self):
+        assert infer_column_type(["Chicago", "Boston"]) is DataType.STRING
+
+    def test_single_outlier_demotes_to_string(self):
+        assert infer_column_type(["1", "2", "x"]) is DataType.STRING
+
+    def test_threshold_allows_some_outliers(self):
+        values = ["1"] * 95 + ["oops"] * 5
+        assert infer_column_type(values, threshold=0.9) is DataType.INTEGER
+
+    def test_empty_column(self):
+        assert infer_column_type(["", "  ", ""]) is DataType.EMPTY
+
+    def test_empty_values_are_ignored(self):
+        assert infer_column_type(["1", "", "2"]) is DataType.INTEGER
+
+    def test_zip_codes_look_like_integers(self):
+        # This is why candidate pruning needs the "looks like a code"
+        # escape hatch: plain inference sees digits only.
+        assert infer_column_type(["90001", "60601"]) is DataType.INTEGER
+
+
+class TestInferSchema:
+    def test_assigns_types_per_column(self):
+        table = Table.from_rows(
+            ["name", "age", "score", "active"],
+            [
+                ["Alice", "34", "1.5", "yes"],
+                ["Bob", "28", "2.25", "no"],
+            ],
+        )
+        schema = infer_schema(table)
+        assert schema["name"].dtype is DataType.STRING
+        assert schema["age"].dtype is DataType.INTEGER
+        assert schema["score"].dtype is DataType.FLOAT
+        assert schema["active"].dtype is DataType.BOOLEAN
+
+    def test_preserves_names_and_order(self, mixed_table):
+        schema = infer_schema(mixed_table)
+        assert schema.names() == mixed_table.column_names()

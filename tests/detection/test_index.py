@@ -1,0 +1,68 @@
+"""Tests for the per-column pattern index."""
+
+import pytest
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.detection.index import PatternColumnIndex
+from repro.patterns import parse_pattern
+
+
+@pytest.fixture
+def zip_index():
+    values = ["90001", "90002", "60601", "60601", "10001", "banana"]
+    return PatternColumnIndex(values)
+
+
+class TestLookups:
+    def test_matching_rows_by_pattern(self, zip_index):
+        rows = zip_index.matching_rows(parse_pattern("900\\D{2}"))
+        assert rows == [0, 1]
+
+    def test_matching_rows_duplicated_values(self, zip_index):
+        rows = zip_index.matching_rows(parse_pattern("606\\D{2}"))
+        assert rows == [2, 3]
+
+    def test_matching_constant(self, zip_index):
+        assert zip_index.matching_constant("60601") == [2, 3]
+        assert zip_index.matching_constant("nope") == []
+
+    def test_constrained_pattern_lookup(self, zip_index):
+        q = ConstrainedPattern.parse("⟨\\D{3}⟩\\D{2}")
+        rows = zip_index.matching_rows(q)
+        assert rows == [0, 1, 2, 3, 4]
+
+    def test_matching_values(self, zip_index):
+        values = zip_index.matching_values(parse_pattern("\\D{5}"))
+        assert set(values) == {"90001", "90002", "60601", "10001"}
+
+    def test_statistics(self, zip_index):
+        assert zip_index.n_rows == 6
+        assert zip_index.n_distinct == 5
+        assert zip_index.rows_of_value("90001") == [0]
+
+
+class TestPrefixAcceleration:
+    def test_prefix_narrowing_tests_fewer_candidates(self, zip_index):
+        zip_index.matching_rows(parse_pattern("900\\D{2}"))
+        with_prefix = zip_index.last_candidates_tested
+        zip_index.matching_rows(parse_pattern("\\D{5}"))
+        without_prefix = zip_index.last_candidates_tested
+        assert with_prefix < without_prefix
+        assert with_prefix == 2  # only the two values starting with 900
+
+    def test_prefix_narrowing_is_correct_on_boundaries(self):
+        index = PatternColumnIndex(["899", "900", "9000", "901", "91"])
+        rows = index.matching_rows(parse_pattern("900\\D*"))
+        assert rows == [1, 2]
+
+    def test_constrained_pattern_uses_first_segment_prefix(self):
+        values = [f"850{i:07d}" for i in range(5)] + [f"607{i:07d}" for i in range(5)]
+        index = PatternColumnIndex(values)
+        q = ConstrainedPattern.parse("⟨850⟩\\D{7}")
+        index.matching_rows(q)
+        assert index.last_candidates_tested == 5
+
+    def test_empty_column(self):
+        index = PatternColumnIndex([])
+        assert index.matching_rows(parse_pattern("\\D*")) == []
+        assert index.n_distinct == 0

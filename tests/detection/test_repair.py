@@ -1,0 +1,87 @@
+"""Tests for repair suggestions."""
+
+import pytest
+
+from repro.detection.detector import ErrorDetector
+from repro.detection.repair import apply_repairs, suggest_repairs
+from repro.detection.violation import Violation, ViolationKind, ViolationReport
+from repro.pfd.pfd import PFD
+
+
+@pytest.fixture
+def lambda3():
+    return PFD.constant(
+        "zip", "city", [{"zip": "900\\D{2}", "city": "Los Angeles"}], name="lambda3"
+    )
+
+
+class TestSuggestRepairs:
+    def test_constant_violation_suggests_tableau_constant(self, zip_table, lambda3):
+        report = ErrorDetector(zip_table).detect(lambda3)
+        suggestions = suggest_repairs(report)
+        assert len(suggestions) == 1
+        suggestion = suggestions[0]
+        assert suggestion.row == 3
+        assert suggestion.attribute == "city"
+        assert suggestion.current_value == "New York"
+        assert suggestion.suggested_value == "Los Angeles"
+        assert suggestion.confidence == 1.0
+        assert "lambda3" in suggestion.describe()
+
+    def test_violations_without_expectation_are_skipped(self):
+        report = ViolationReport(n_rows=5)
+        report.add(
+            Violation(
+                pfd_name="outlier",
+                lhs_attribute="x",
+                rhs_attribute="x",
+                kind=ViolationKind.CONSTANT,
+                rule_index=0,
+                rule_text="x",
+                rows=(0,),
+                cells=((0, "x"),),
+                suspect_cell=(0, "x"),
+                observed_value="??",
+                expected_value=None,
+            )
+        )
+        assert suggest_repairs(report) == []
+
+    def test_majority_vote_across_conflicting_violations(self):
+        report = ViolationReport(n_rows=5)
+        for expected in ("LA", "LA", "SF"):
+            report.add(
+                Violation(
+                    pfd_name="psi",
+                    lhs_attribute="zip",
+                    rhs_attribute="city",
+                    kind=ViolationKind.VARIABLE,
+                    rule_index=0,
+                    rule_text="r",
+                    rows=(0, 1),
+                    cells=((0, "city"), (1, "city")),
+                    suspect_cell=(1, "city"),
+                    observed_value="NY",
+                    expected_value=expected,
+                )
+            )
+        suggestions = suggest_repairs(report)
+        assert len(suggestions) == 1
+        assert suggestions[0].suggested_value == "LA"
+        assert suggestions[0].confidence == pytest.approx(2 / 3)
+
+
+class TestApplyRepairs:
+    def test_applies_to_a_copy(self, zip_table, lambda3, zip_dataset):
+        report = ErrorDetector(zip_table).detect(lambda3)
+        repaired = apply_repairs(zip_table, suggest_repairs(report))
+        assert repaired.cell(3, "city") == "Los Angeles"
+        # the original dirty table is untouched
+        assert zip_table.cell(3, "city") == "New York"
+        # the repaired table equals the clean ground truth
+        assert repaired == zip_dataset.clean_table
+
+    def test_confidence_threshold(self, zip_table, lambda3):
+        report = ErrorDetector(zip_table).detect(lambda3)
+        untouched = apply_repairs(zip_table, suggest_repairs(report), min_confidence=1.1)
+        assert untouched.cell(3, "city") == "New York"

@@ -1,0 +1,79 @@
+"""Tests for the violation model."""
+
+from repro.detection.violation import Violation, ViolationKind, ViolationReport
+
+
+def make_violation(row=0, rhs="city", pfd="psi1", observed="NY", expected="LA", rule=0):
+    return Violation(
+        pfd_name=pfd,
+        lhs_attribute="zip",
+        rhs_attribute=rhs,
+        kind=ViolationKind.CONSTANT,
+        rule_index=rule,
+        rule_text="zip=900\\D{2}, city=LA",
+        rows=(row,),
+        cells=((row, "zip"), (row, rhs)),
+        suspect_cell=(row, rhs),
+        observed_value=observed,
+        expected_value=expected,
+    )
+
+
+class TestViolation:
+    def test_describe_mentions_expectation(self):
+        violation = make_violation()
+        text = violation.describe()
+        assert "psi1" in text
+        assert "'LA'" in text
+        assert "'NY'" in text
+
+    def test_describe_without_expectation(self):
+        violation = make_violation(expected=None)
+        assert "expected" not in violation.describe()
+
+
+class TestViolationReport:
+    def test_add_and_len(self):
+        report = ViolationReport(n_rows=10)
+        report.add(make_violation(0))
+        report.extend([make_violation(1), make_violation(2)])
+        assert len(report) == 3
+        assert not report.is_empty()
+
+    def test_suspect_cells_and_rows(self):
+        report = ViolationReport(n_rows=10)
+        report.add(make_violation(3))
+        report.add(make_violation(3))  # duplicate cell
+        report.add(make_violation(7, rhs="state"))
+        assert report.suspect_cells() == {(3, "city"), (7, "state")}
+        assert report.suspect_rows() == [3, 7]
+
+    def test_involved_cells_include_lhs(self):
+        report = ViolationReport(n_rows=10)
+        report.add(make_violation(3))
+        assert (3, "zip") in report.involved_cells()
+
+    def test_by_pfd_and_by_attribute(self):
+        report = ViolationReport(n_rows=10)
+        report.add(make_violation(0, pfd="psi1"))
+        report.add(make_violation(1, pfd="psi2", rhs="state"))
+        assert set(report.by_pfd()) == {"psi1", "psi2"}
+        assert set(report.by_attribute()) == {"city", "state"}
+
+    def test_violation_ratio(self):
+        report = ViolationReport(n_rows=10)
+        report.add(make_violation(0))
+        report.add(make_violation(1))
+        assert report.violation_ratio() == 0.2
+        assert ViolationReport(n_rows=0).violation_ratio() == 0.0
+
+    def test_merged_with_deduplicates(self):
+        left = ViolationReport(n_rows=10, comparisons=5)
+        right = ViolationReport(n_rows=10, comparisons=7)
+        shared = make_violation(1)
+        left.add(shared)
+        right.add(make_violation(1))
+        right.add(make_violation(2))
+        merged = left.merged_with(right)
+        assert len(merged) == 2
+        assert merged.comparisons == 12

@@ -1,0 +1,88 @@
+"""Tests for the pattern-tuple decision function ``f``."""
+
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.decision import MajorityDecision
+from repro.discovery.inverted_index import InvertedList
+
+
+def decide_for(lhs, rhs, mode, key, position, config=None):
+    index = InvertedList.build(lhs, rhs, mode=mode)
+    entry = index.entry(key, position)
+    return MajorityDecision().decide(entry, lhs, config or DiscoveryConfig())
+
+
+class TestPrefixEntries:
+    LHS = ["90001", "90002", "90003", "90088", "60601"]
+    RHS = ["Los Angeles"] * 4 + ["Chicago"]
+
+    def test_accepts_agreeing_prefix(self):
+        candidate = decide_for(self.LHS, self.RHS, "prefix", "900", 0)
+        assert candidate is not None
+        assert candidate.rhs_constant == "Los Angeles"
+        assert candidate.pattern_text == "900\\D{2}"
+        assert candidate.support == 4
+        assert candidate.agreement == 1.0
+        assert candidate.covered_tuple_ids == [0, 1, 2, 3]
+
+    def test_rejects_low_support(self):
+        config = DiscoveryConfig(min_support=5)
+        assert decide_for(self.LHS, self.RHS, "prefix", "900", 0, config) is None
+
+    def test_rejects_disagreeing_rhs(self):
+        rhs = ["Los Angeles", "Los Angeles", "New York", "New York", "Chicago"]
+        candidate = decide_for(self.LHS, rhs, "prefix", "900", 0)
+        assert candidate is None
+
+    def test_tolerates_violations_within_ratio(self):
+        lhs = [f"900{i:02d}" for i in range(20)]
+        rhs = ["Los Angeles"] * 19 + ["New York"]
+        config = DiscoveryConfig(allowed_violation_ratio=0.1)
+        candidate = decide_for(lhs, rhs, "prefix", "900", 0, config)
+        assert candidate is not None
+        assert candidate.agreement == pytest.approx(0.95)
+        assert candidate.violating_tuple_ids == [19]
+
+    def test_render_format(self):
+        candidate = decide_for(self.LHS, self.RHS, "prefix", "900", 0)
+        assert candidate.render() == "900\\D{2}::0, 4"
+
+    def test_rejects_empty_rhs_majority(self):
+        rhs = ["", "", "", "", "Chicago"]
+        assert decide_for(self.LHS, rhs, "prefix", "900", 0) is None
+
+
+class TestTokenEntries:
+    LHS = [
+        "Holloway, Donald E.",
+        "Kimbell, Donald",
+        "Smith, Donald R.",
+        "Jones, Stacey R.",
+    ]
+    RHS = ["M", "M", "M", "F"]
+
+    def test_builds_contains_token_pattern(self):
+        candidate = decide_for(self.LHS, self.RHS, "token", "Donald", 1)
+        assert candidate is not None
+        assert candidate.rhs_constant == "M"
+        # the tableau pattern has the Table 3 shape: \A*,\ Donald\A*
+        assert candidate.pattern_text == "\\A*,\\ Donald\\A*"
+        pattern = candidate.lhs_pattern
+        assert pattern.matches("Holloway, Donald E.")
+        assert pattern.matches("Kimbell, Donald")
+        assert not pattern.matches("Jones, Stacey R.")
+
+    def test_first_position_token_uses_prefix_shape(self):
+        lhs = ["John Charles", "John Bosco", "Susan Boyle"]
+        rhs = ["M", "M", "F"]
+        candidate = decide_for(lhs, rhs, "token", "John", 0)
+        assert candidate is not None
+        assert candidate.lhs_pattern.matches("John Charles")
+        assert candidate.lhs_pattern.matches("John Bosco")
+        assert not candidate.lhs_pattern.matches("Susan Boyle")
+
+    def test_rejects_token_with_mixed_rhs(self):
+        lhs = ["Smith, Alex", "Brown, Alex"]
+        rhs = ["M", "F"]
+        assert decide_for(lhs, rhs, "token", "Alex", 1) is None

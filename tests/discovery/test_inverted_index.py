@@ -1,0 +1,88 @@
+"""Tests for the hash-based inverted list (Figure 2, line 8)."""
+
+import pytest
+
+from repro.discovery.inverted_index import InvertedList, Posting
+
+
+class TestInvertedListBuild:
+    def test_token_mode_keys(self):
+        lhs = ["Holloway, Donald E.", "Kimbell, Donald", "Jones, Stacey R."]
+        rhs = ["M", "M", "F"]
+        index = InvertedList.build(lhs, rhs, mode="token")
+        assert ("Donald", 1) in index
+        assert ("Stacey", 1) in index
+        assert ("Holloway", 0) in index
+
+    def test_prefix_mode_keys(self):
+        lhs = ["90001", "90002", "60601"]
+        rhs = ["LA", "LA", "Chicago"]
+        index = InvertedList.build(lhs, rhs, mode="prefix")
+        assert ("900", 0) in index
+        assert ("9", 0) in index
+        assert ("606", 0) in index
+
+    def test_ngram_mode_keys(self):
+        index = InvertedList.build(["90001"], ["LA"], mode="ngram", ngram_size=3)
+        assert ("900", 0) in index
+        assert ("000", 1) in index
+        assert ("001", 2) in index
+
+    def test_empty_lhs_values_are_skipped(self):
+        index = InvertedList.build(["", "90001"], ["x", "y"], mode="prefix")
+        entry = index.entry("9", 0)
+        assert entry.tuple_ids() == [1]
+
+    def test_rhs_tokenization_mode(self):
+        index = InvertedList.build(
+            ["A1"], ["New York"], mode="prefix", tokenize_rhs=True
+        )
+        entry = index.entry("A", 0)
+        rhs_tokens = {p.rhs_token for p in entry.postings}
+        assert rhs_tokens == {"New", "York"}
+        assert {p.rhs_value for p in entry.postings} == {"New York"}
+
+
+class TestInvertedEntry:
+    @pytest.fixture
+    def entry(self):
+        index = InvertedList()
+        index.insert("Donald", Posting(0, 1, "Donald", "M"))
+        index.insert("Donald", Posting(1, 1, "Donald", "M"))
+        index.insert("Donald", Posting(2, 1, "Donald", "F"))
+        index.insert("Donald", Posting(2, 1, "Donald", "F"))  # duplicate tuple
+        return index.entry("Donald", 1)
+
+    def test_support_counts_distinct_tuples(self, entry):
+        assert entry.support == 3
+
+    def test_tuple_ids_sorted_and_unique(self, entry):
+        assert entry.tuple_ids() == [0, 1, 2]
+
+    def test_rhs_distribution(self, entry):
+        assert entry.rhs_distribution() == {"M": 2, "F": 1}
+
+    def test_top_rhs(self, entry):
+        value, count = entry.top_rhs()
+        assert value == "M"
+        assert count == 2
+
+    def test_token_and_position_accessors(self, entry):
+        assert entry.token == "Donald"
+        assert entry.position == 1
+
+
+class TestEntriesIteration:
+    def test_min_support_filter(self):
+        index = InvertedList()
+        index.insert("a", Posting(0, 0, "a", "x"))
+        index.insert("b", Posting(0, 0, "b", "x"))
+        index.insert("b", Posting(1, 0, "b", "x"))
+        tokens = {entry.token for entry in index.entries(min_support=2)}
+        assert tokens == {"b"}
+
+    def test_len(self):
+        index = InvertedList()
+        assert len(index) == 0
+        index.insert("a", Posting(0, 0, "a", "x"))
+        assert len(index) == 1

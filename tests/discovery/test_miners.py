@@ -1,0 +1,142 @@
+"""Tests for the constant and variable PFD miners."""
+
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.constant_miner import ConstantPfdMiner
+from repro.discovery.variable_miner import VariablePfdMiner
+
+
+class TestConstantMinerOnZips:
+    LHS = [f"900{i:02d}" for i in range(10)] + [f"606{i:02d}" for i in range(10)]
+    RHS = ["Los Angeles"] * 10 + ["Chicago"] * 10
+
+    def test_finds_one_rule_per_city(self):
+        miner = ConstantPfdMiner(DiscoveryConfig())
+        rows = miner.mine(self.LHS, self.RHS, mode="prefix")
+        by_rhs = {row.rhs_constant: row for row in rows}
+        assert set(by_rhs) == {"Los Angeles", "Chicago"}
+        # the LA rule must cover every 900xx zip and reject the Chicago zips
+        la_pattern = by_rhs["Los Angeles"].lhs_pattern
+        assert all(la_pattern.matches(zip_code) for zip_code in self.LHS[:10])
+        assert not any(la_pattern.matches(zip_code) for zip_code in self.LHS[10:])
+        chicago_pattern = by_rhs["Chicago"].lhs_pattern
+        assert all(chicago_pattern.matches(zip_code) for zip_code in self.LHS[10:])
+
+    def test_redundant_specific_patterns_are_suppressed(self):
+        miner = ConstantPfdMiner(DiscoveryConfig())
+        rows = miner.mine(self.LHS, self.RHS, mode="prefix")
+        # prefixes like 9000, 90001 cover no additional tuples and must be dropped
+        assert len(rows) == 2
+
+    def test_coverage(self):
+        miner = ConstantPfdMiner(DiscoveryConfig())
+        rows = miner.mine(self.LHS, self.RHS, mode="prefix")
+        assert miner.coverage(rows, self.LHS) == 1.0
+        assert miner.coverage([], self.LHS) == 0.0
+
+    def test_max_tableau_rows_cap(self):
+        config = DiscoveryConfig(max_tableau_rows=1)
+        rows = ConstantPfdMiner(config).mine(self.LHS, self.RHS, mode="prefix")
+        assert len(rows) == 1
+
+    def test_dirty_rhs_within_tolerance(self):
+        rhs = list(self.RHS)
+        rhs[0] = "New York"  # one error out of ten LA rows
+        config = DiscoveryConfig(allowed_violation_ratio=0.15)
+        rows = ConstantPfdMiner(config).mine(self.LHS, rhs, mode="prefix")
+        la_rows = [r for r in rows if r.rhs_constant == "Los Angeles"]
+        assert la_rows and la_rows[0].violating_tuple_ids == [0]
+
+
+class TestConstantMinerOnNames:
+    LHS = [
+        "Holloway, Donald E.",
+        "Kimbell, Donald",
+        "Smith, Donald R.",
+        "Jones, Stacey R.",
+        "Otillio, Stacey",
+    ]
+    RHS = ["M", "M", "M", "F", "F"]
+
+    def test_finds_first_name_rules(self):
+        rows = ConstantPfdMiner(DiscoveryConfig()).mine(self.LHS, self.RHS, mode="token")
+        patterns = {row.pattern_text: row.rhs_constant for row in rows}
+        assert patterns.get("\\A*,\\ Donald\\A*") == "M"
+        assert any("Stacey" in text for text in patterns)
+
+
+class TestVariableMinerPrefix:
+    def test_finds_three_digit_zip_prefix(self):
+        lhs, rhs = [], []
+        for prefix, city in (("900", "LA"), ("906", "Whittier"), ("606", "Chicago"), ("613", "Ottawa")):
+            for i in range(12):
+                lhs.append(f"{prefix}{i:02d}")
+                rhs.append(city)
+        config = DiscoveryConfig(min_coverage=0.8)
+        candidates = VariablePfdMiner(config).mine(lhs, rhs, mode="prefix")
+        assert len(candidates) == 1
+        candidate = candidates[0]
+        # 2-digit prefixes mix LA/Whittier and Chicago/Ottawa, so the miner
+        # must settle on the 3-digit prefix.
+        assert candidate.constrained_pattern.to_text() == "⟨\\D{3}⟩\\D{2}"
+        assert candidate.agreement == 1.0
+        assert candidate.n_blocks == 4
+
+    def test_prefers_most_general_prefix(self):
+        lhs = [f"90{i:03d}" for i in range(20)] + [f"60{i:03d}" for i in range(20)]
+        rhs = ["CA"] * 20 + ["IL"] * 20
+        candidates = VariablePfdMiner(DiscoveryConfig()).mine(lhs, rhs, mode="prefix")
+        assert candidates[0].constrained_pattern.to_text() == "⟨\\D⟩\\D{4}"
+
+    def test_no_candidate_when_rhs_is_random_per_row(self):
+        lhs = [f"{i:05d}" for i in range(40)]
+        rhs = [f"city{i}" for i in range(40)]
+        assert VariablePfdMiner(DiscoveryConfig()).mine(lhs, rhs, mode="prefix") == []
+
+    def test_no_candidate_for_tiny_input(self):
+        assert VariablePfdMiner(DiscoveryConfig()).mine(["90001"], ["LA"], mode="prefix") == []
+
+    def test_violations_within_tolerance_still_accepted(self):
+        lhs = [f"900{i:02d}" for i in range(50)]
+        rhs = ["LA"] * 48 + ["NY", "NY"]
+        config = DiscoveryConfig(allowed_violation_ratio=0.1, min_coverage=0.5)
+        candidates = VariablePfdMiner(config).mine(lhs, rhs, mode="prefix")
+        assert candidates
+        assert candidates[0].agreement >= 0.9
+
+
+class TestVariableMinerTokens:
+    def test_finds_first_name_position(self):
+        lhs, rhs = [], []
+        names = [("Donald", "M"), ("Stacey", "F"), ("Alan", "M"), ("Mary", "F")]
+        # five surnames against four first names so the surname does NOT
+        # accidentally determine the gender
+        surnames = ["Holloway,", "Jones,", "Kimbell,", "Smith,", "Otillio,"]
+        for i in range(40):
+            first, gender = names[i % len(names)]
+            lhs.append(f"{surnames[i % len(surnames)]} {first}")
+            rhs.append(gender)
+        candidates = VariablePfdMiner(DiscoveryConfig()).mine(lhs, rhs, mode="token")
+        assert len(candidates) == 1
+        candidate = candidates[0]
+        assert "determines the RHS" in candidate.description
+        q = candidate.constrained_pattern
+        # tuples sharing the first name (token 1) are equivalent
+        assert q.equivalent("Holloway, Donald", "Smith, Donald")
+        assert not q.equivalent("Holloway, Donald", "Jones, Stacey")
+
+    def test_surname_position_is_rejected_when_it_does_not_determine(self):
+        # token 0 (the surname) does NOT determine gender here, token 1 does
+        lhs = ["Holloway, Donald", "Holloway, Stacey", "Jones, Donald", "Jones, Stacey"] * 5
+        rhs = ["M", "F", "M", "F"] * 5
+        candidates = VariablePfdMiner(DiscoveryConfig()).mine(lhs, rhs, mode="token")
+        if candidates:  # if anything is found it must be the first-name position
+            q = candidates[0].constrained_pattern
+            assert q.equivalent("Holloway, Donald", "Jones, Donald")
+
+    def test_empty_values_are_ignored(self):
+        lhs = ["", "Holloway, Donald", "Smith, Donald", "Jones, Stacey", "Brown, Stacey"]
+        rhs = ["M", "M", "M", "F", "F"]
+        candidates = VariablePfdMiner(DiscoveryConfig(min_coverage=0.5)).mine(lhs, rhs, mode="token")
+        assert isinstance(candidates, list)

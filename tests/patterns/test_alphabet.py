@@ -1,0 +1,124 @@
+"""Tests for the generalization tree (Figure 1)."""
+
+import pytest
+
+from repro.patterns.alphabet import (
+    CharClass,
+    GENERALIZATION_TREE,
+    GeneralizationTree,
+    classify_char,
+)
+
+
+class TestClassifyChar:
+    def test_upper_case_letters(self):
+        for char in "AZM":
+            assert classify_char(char) is CharClass.UPPER
+
+    def test_lower_case_letters(self):
+        for char in "azm":
+            assert classify_char(char) is CharClass.LOWER
+
+    def test_digits(self):
+        for char in "059":
+            assert classify_char(char) is CharClass.DIGIT
+
+    def test_symbols(self):
+        for char in " -_,.!/\\":
+            assert classify_char(char) is CharClass.SYMBOL
+
+    def test_non_ascii_is_symbol(self):
+        assert classify_char("é") is CharClass.SYMBOL
+
+    def test_rejects_multi_character_input(self):
+        with pytest.raises(ValueError):
+            classify_char("ab")
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            classify_char("")
+
+
+class TestCharClassMembership:
+    def test_any_contains_everything(self):
+        for char in "Aa0 -é":
+            assert CharClass.ANY.contains_char(char)
+
+    def test_upper_membership(self):
+        assert CharClass.UPPER.contains_char("Q")
+        assert not CharClass.UPPER.contains_char("q")
+        assert not CharClass.UPPER.contains_char("5")
+
+    def test_lower_membership(self):
+        assert CharClass.LOWER.contains_char("q")
+        assert not CharClass.LOWER.contains_char("Q")
+
+    def test_digit_membership(self):
+        assert CharClass.DIGIT.contains_char("7")
+        assert not CharClass.DIGIT.contains_char("x")
+
+    def test_symbol_membership(self):
+        assert CharClass.SYMBOL.contains_char("-")
+        assert CharClass.SYMBOL.contains_char(" ")
+        assert not CharClass.SYMBOL.contains_char("a")
+        assert not CharClass.SYMBOL.contains_char("3")
+
+    def test_multi_character_string_is_not_a_member(self):
+        assert not CharClass.UPPER.contains_char("AB")
+
+    def test_every_char_belongs_to_its_classified_class(self):
+        for char in "Aa0-":
+            assert classify_char(char).contains_char(char)
+
+    def test_token_rendering(self):
+        assert CharClass.UPPER.token == "\\LU"
+        assert CharClass.LOWER.token == "\\LL"
+        assert CharClass.DIGIT.token == "\\D"
+        assert CharClass.SYMBOL.token == "\\S"
+        assert CharClass.ANY.token == "\\A"
+
+    def test_sample_chars_are_members(self):
+        for char_class in CharClass:
+            for char in char_class.sample_chars():
+                assert char_class.contains_char(char)
+
+
+class TestGeneralizationTree:
+    def test_root_is_any(self):
+        assert GeneralizationTree.ROOT is CharClass.ANY
+
+    def test_children_of_root_match_figure_1(self):
+        children = GENERALIZATION_TREE.children(CharClass.ANY)
+        assert children == [
+            CharClass.UPPER,
+            CharClass.LOWER,
+            CharClass.DIGIT,
+            CharClass.SYMBOL,
+        ]
+
+    def test_intermediate_nodes_have_no_class_children(self):
+        for node in (CharClass.UPPER, CharClass.LOWER, CharClass.DIGIT, CharClass.SYMBOL):
+            assert GENERALIZATION_TREE.children(node) == []
+
+    def test_parent_of_root_is_none(self):
+        assert GENERALIZATION_TREE.parent(CharClass.ANY) is None
+
+    def test_parent_of_leaf_classes_is_root(self):
+        for node in (CharClass.UPPER, CharClass.LOWER, CharClass.DIGIT, CharClass.SYMBOL):
+            assert GENERALIZATION_TREE.parent(node) is CharClass.ANY
+
+    def test_leaf_parent(self):
+        assert GENERALIZATION_TREE.leaf_parent("Q") is CharClass.UPPER
+        assert GENERALIZATION_TREE.leaf_parent("7") is CharClass.DIGIT
+
+    def test_generalization_path_ends_at_root(self):
+        path = GENERALIZATION_TREE.generalization_path("q")
+        assert path == [CharClass.LOWER, CharClass.ANY]
+
+    def test_is_ancestor(self):
+        assert GENERALIZATION_TREE.is_ancestor(CharClass.ANY, CharClass.DIGIT)
+        assert GENERALIZATION_TREE.is_ancestor(CharClass.DIGIT, CharClass.DIGIT)
+        assert not GENERALIZATION_TREE.is_ancestor(CharClass.DIGIT, CharClass.UPPER)
+
+    def test_classes_lists_all_five(self):
+        assert set(GENERALIZATION_TREE.classes()) == set(CharClass)

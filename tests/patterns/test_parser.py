@@ -1,0 +1,128 @@
+"""Tests for the pattern parser (the paper's concrete syntax)."""
+
+import pytest
+
+from repro.errors import PatternSyntaxError
+from repro.patterns.alphabet import CharClass
+from repro.patterns.parser import parse_elements, parse_pattern
+from repro.patterns.syntax import ClassAtom, Literal
+
+
+class TestParsingAtoms:
+    def test_plain_literals(self):
+        elements = parse_elements("900")
+        assert [e.atom for e in elements] == [Literal("9"), Literal("0"), Literal("0")]
+
+    def test_class_tokens(self):
+        elements = parse_elements("\\A\\LU\\LL\\D\\S")
+        classes = [e.atom.char_class for e in elements]
+        assert classes == [
+            CharClass.ANY,
+            CharClass.UPPER,
+            CharClass.LOWER,
+            CharClass.DIGIT,
+            CharClass.SYMBOL,
+        ]
+
+    def test_escaped_space_literal(self):
+        elements = parse_elements("a\\ b")
+        assert elements[1].atom == Literal(" ")
+
+    def test_escaped_backslash(self):
+        elements = parse_elements("\\\\")
+        assert elements == parse_elements("\\\\")
+        assert elements[0].atom == Literal("\\")
+
+    def test_dangling_backslash_is_an_error(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_elements("abc\\")
+
+    def test_lu_wins_over_single_letter_escape(self):
+        elements = parse_elements("\\LU")
+        assert isinstance(elements[0].atom, ClassAtom)
+        assert elements[0].atom.char_class is CharClass.UPPER
+        assert len(elements) == 1
+
+
+class TestParsingQuantifiers:
+    def test_exact_repetition(self):
+        elements = parse_elements("\\D{5}")
+        assert len(elements) == 1
+        assert elements[0].quantifier.minimum == 5
+        assert elements[0].quantifier.maximum == 5
+
+    def test_range_repetition(self):
+        elements = parse_elements("\\LL{2,4}")
+        assert elements[0].quantifier.minimum == 2
+        assert elements[0].quantifier.maximum == 4
+
+    def test_open_ended_repetition(self):
+        elements = parse_elements("\\D{3,}")
+        assert elements[0].quantifier.minimum == 3
+        assert elements[0].quantifier.maximum is None
+
+    def test_star(self):
+        elements = parse_elements("\\A*")
+        assert elements[0].quantifier.is_star
+
+    def test_plus(self):
+        elements = parse_elements("\\LL+")
+        assert elements[0].quantifier.is_plus
+
+    def test_quantifier_on_literal(self):
+        elements = parse_elements("x{3}")
+        assert elements[0].atom == Literal("x")
+        assert elements[0].quantifier.minimum == 3
+
+    def test_quantifier_without_atom_is_an_error(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_elements("*abc")
+
+    def test_unterminated_quantifier_is_an_error(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_elements("\\D{5")
+
+    def test_empty_quantifier_is_an_error(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_elements("\\D{}")
+
+
+class TestPaperPatterns:
+    """Every pattern that appears in the paper must parse and round-trip."""
+
+    PAPER_PATTERNS = [
+        "\\D{5}",
+        "\\D*",
+        "900\\D{2}",
+        "John\\ \\A*",
+        "Susan\\ \\A*",
+        "\\LU\\LL*\\ \\A*",
+        "\\D{3}\\ \\D{2}",
+        "850\\D{7}",
+        "607\\D{7}",
+        "404\\D{7}",
+        "217\\D{7}",
+        "860\\D{7}",
+        "\\A*,\\ Donald\\A*",
+        "\\A*,\\ Stacey\\A*",
+        "\\A*,\\ David",
+        "6060\\D",
+        "60\\D{3}",
+        "95\\D{3}",
+        "\\LU\\LL*\\ \\A*\\ \\LU\\LL*",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_PATTERNS)
+    def test_parses(self, text):
+        pattern = parse_pattern(text)
+        assert len(pattern) >= 1
+
+    @pytest.mark.parametrize("text", PAPER_PATTERNS)
+    def test_round_trips_to_equivalent_text(self, text):
+        pattern = parse_pattern(text)
+        reparsed = parse_pattern(pattern.to_text())
+        assert reparsed == pattern
+
+    def test_source_is_preserved(self):
+        pattern = parse_pattern("\\D{5}")
+        assert pattern.source == "\\D{5}"

@@ -1,0 +1,109 @@
+"""Tests for Tokenize and NGrams (Figure 2, lines 6–7)."""
+
+import pytest
+
+from repro.patterns.tokenizer import (
+    Token,
+    iter_token_modes,
+    ngrams,
+    prefix_ngrams,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        tokens = tokenize("John Charles")
+        assert [t.text for t in tokens] == ["John", "Charles"]
+        assert [t.position for t in tokens] == [0, 1]
+        assert [t.start for t in tokens] == [0, 5]
+
+    def test_paper_full_name(self):
+        tokens = tokenize("Holloway, Donald E.")
+        assert [t.text for t in tokens] == ["Holloway,", "Donald", "E."]
+        assert [t.normalized for t in tokens] == ["Holloway", "Donald", "E"]
+        assert tokens[1].position == 1
+        assert tokens[1].start == 10
+
+    def test_multiple_spaces(self):
+        tokens = tokenize("a   b")
+        assert [t.text for t in tokens] == ["a", "b"]
+        assert tokens[1].start == 4
+
+    def test_leading_and_trailing_whitespace(self):
+        tokens = tokenize("  hello  ")
+        assert [t.text for t in tokens] == ["hello"]
+        assert tokens[0].position == 0
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   ") == []
+
+    def test_single_token(self):
+        tokens = tokenize("90001")
+        assert len(tokens) == 1
+        assert tokens[0].text == "90001"
+
+    def test_tabs_and_newlines_are_separators(self):
+        tokens = tokenize("a\tb\nc")
+        assert [t.text for t in tokens] == ["a", "b", "c"]
+
+    def test_is_numeric(self):
+        tokens = tokenize("call 555 now")
+        assert [t.is_numeric for t in tokens] == [False, True, False]
+
+
+class TestNgrams:
+    def test_basic_ngrams(self):
+        grams = ngrams("90001", 3)
+        assert [g.text for g in grams] == ["900", "000", "001"]
+        assert [g.position for g in grams] == [0, 1, 2]
+
+    def test_ngram_equal_to_length(self):
+        grams = ngrams("abc", 3)
+        assert [g.text for g in grams] == ["abc"]
+
+    def test_ngram_longer_than_value(self):
+        assert ngrams("ab", 3) == []
+
+    def test_ngram_size_one(self):
+        assert [g.text for g in ngrams("abc", 1)] == ["a", "b", "c"]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", 0)
+
+
+class TestPrefixNgrams:
+    def test_default_sizes(self):
+        grams = prefix_ngrams("90001")
+        assert [g.text for g in grams] == ["9", "90", "900", "9000", "90001"]
+        assert all(g.position == 0 for g in grams)
+
+    def test_short_value(self):
+        grams = prefix_ngrams("ab")
+        assert [g.text for g in grams] == ["a", "ab"]
+
+    def test_custom_sizes(self):
+        grams = prefix_ngrams("8505467600", sizes=[3])
+        assert [g.text for g in grams] == ["850"]
+
+
+class TestIterTokenModes:
+    def test_token_mode(self):
+        tokens = list(iter_token_modes("John Charles", "token"))
+        assert [t.text for t in tokens] == ["John", "Charles"]
+
+    def test_ngram_mode(self):
+        tokens = list(iter_token_modes("90001", "ngram", ngram_size=2))
+        assert [t.text for t in tokens] == ["90", "00", "00", "01"]
+
+    def test_prefix_mode(self):
+        tokens = list(iter_token_modes("90001", "prefix"))
+        assert tokens[0].text == "9"
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            list(iter_token_modes("x", "bogus"))

@@ -1,0 +1,85 @@
+"""Tests for functional dependencies and embedded FDs."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.errors import ConstraintError
+from repro.pfd.fd import EmbeddedFD, FunctionalDependency
+
+
+@pytest.fixture
+def city_table():
+    return Table.from_rows(
+        ["zip", "city", "state"],
+        [
+            ["90001", "Los Angeles", "CA"],
+            ["90001", "Los Angeles", "CA"],
+            ["90002", "Los Angeles", "CA"],
+            ["60601", "Chicago", "IL"],
+            ["60601", "Springfield", "IL"],  # violates zip -> city
+        ],
+    )
+
+
+class TestFunctionalDependency:
+    def test_of_accepts_strings_and_iterables(self):
+        fd = FunctionalDependency.of("zip", "city")
+        assert fd.lhs == ("zip",)
+        assert fd.rhs == ("city",)
+        fd2 = FunctionalDependency.of(["zip", "city"], ["state"])
+        assert fd2.lhs == ("zip", "city")
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency((), ("city",))
+        with pytest.raises(ConstraintError):
+            FunctionalDependency(("zip",), ())
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency.of("zip", "zip")
+
+    def test_holds_on(self, city_table):
+        assert FunctionalDependency.of("zip", "state").holds_on(city_table)
+        assert not FunctionalDependency.of("zip", "city").holds_on(city_table)
+
+    def test_violating_pairs(self, city_table):
+        pairs = FunctionalDependency.of("zip", "city").violating_pairs(city_table)
+        assert pairs == [(3, 4)]
+
+    def test_violating_pairs_limit(self, city_table):
+        pairs = FunctionalDependency.of("zip", "city").violating_pairs(city_table, limit=1)
+        assert len(pairs) == 1
+
+    def test_g3_error(self, city_table):
+        fd = FunctionalDependency.of("zip", "city")
+        # one of the two 60601 rows must be removed: 1/5
+        assert fd.g3_error(city_table) == pytest.approx(0.2)
+        assert FunctionalDependency.of("zip", "state").g3_error(city_table) == 0.0
+
+    def test_g3_error_empty_table(self):
+        table = Table.empty(["a", "b"])
+        assert FunctionalDependency.of("a", "b").g3_error(table) == 0.0
+
+    def test_attributes_and_str(self):
+        fd = FunctionalDependency.of(["a", "b"], "c")
+        assert fd.attributes == ("a", "b", "c")
+        assert str(fd) == "a, b -> c"
+
+
+class TestEmbeddedFD:
+    def test_between(self):
+        fd = EmbeddedFD.between("zip", "city")
+        assert fd.lhs_attribute == "zip"
+        assert fd.rhs_attribute == "city"
+
+    def test_rejects_multi_attribute_sides(self):
+        with pytest.raises(ConstraintError):
+            EmbeddedFD(("a", "b"), ("c",))
+        with pytest.raises(ConstraintError):
+            EmbeddedFD(("a",), ("b", "c"))
+
+    def test_is_a_functional_dependency(self, city_table):
+        fd = EmbeddedFD.between("zip", "state")
+        assert isinstance(fd, FunctionalDependency)
+        assert fd.holds_on(city_table)

@@ -1,0 +1,118 @@
+"""Tests for the reference satisfaction semantics (Section 1 examples)."""
+
+import pytest
+
+from repro.constrained.constrained_pattern import constrained_first_token, constrained_prefix
+from repro.patterns import parse_pattern
+from repro.pfd.pfd import PFD
+from repro.pfd.satisfaction import check_satisfaction, find_tableau_violations
+from repro.pfd.tableau import WILDCARD
+
+
+@pytest.fixture
+def lambda2():
+    return PFD.constant(
+        "name", "gender", [{"name": "Susan\\ \\A*", "gender": "F"}], name="lambda2", relation="Name"
+    )
+
+
+@pytest.fixture
+def lambda3():
+    return PFD.constant(
+        "zip", "city", [{"zip": "900\\D{2}", "city": "Los Angeles"}], name="lambda3", relation="Zip"
+    )
+
+
+@pytest.fixture
+def lambda4():
+    return PFD.variable("name", "gender", constrained_first_token(), name="lambda4")
+
+
+@pytest.fixture
+def lambda5():
+    return PFD.variable(
+        "zip",
+        "city",
+        constrained_prefix(3, parse_pattern("\\D{2}"), head=parse_pattern("\\D{3}")),
+        name="lambda5",
+    )
+
+
+class TestPaperIntroduction:
+    """λ2 detects r4[gender]; λ3 detects s4[city]; λ4/λ5 detect them pairwise."""
+
+    def test_lambda2_detects_r4_gender(self, name_table, lambda2):
+        report = find_tableau_violations(name_table, lambda2)
+        assert report.constant_violations == [(3, 0)]
+        assert report.violating_rows == [3]
+        assert not report.satisfied
+
+    def test_lambda3_detects_s4_city(self, zip_table, lambda3):
+        report = find_tableau_violations(zip_table, lambda3)
+        assert report.constant_violations == [(3, 0)]
+
+    def test_lambda4_detects_r4_via_r3_pair(self, name_table, lambda4):
+        report = find_tableau_violations(name_table, lambda4)
+        assert report.variable_violations == [(2, 3, 0)]
+        # the violation consists of the four cells of r3 and r4
+        assert report.violating_rows == [2, 3]
+
+    def test_lambda5_detects_s4_against_each_sibling(self, zip_table, lambda5):
+        report = find_tableau_violations(zip_table, lambda5)
+        pairs = {(i, j) for i, j, _rule in report.variable_violations}
+        assert pairs == {(0, 3), (1, 3), (2, 3)}
+
+    def test_clean_tables_satisfy_all_lambdas(self, name_dataset, zip_dataset, lambda2, lambda3, lambda4, lambda5):
+        assert check_satisfaction(name_dataset.clean_table, lambda2)
+        assert check_satisfaction(name_dataset.clean_table, lambda4)
+        assert check_satisfaction(zip_dataset.clean_table, lambda3)
+        assert check_satisfaction(zip_dataset.clean_table, lambda5)
+
+
+class TestReportProperties:
+    def test_violation_ratio(self, zip_table, lambda3):
+        report = find_tableau_violations(zip_table, lambda3)
+        assert report.violation_ratio == pytest.approx(0.25)
+
+    def test_empty_table(self, lambda3):
+        from repro.dataset.table import Table
+
+        report = find_tableau_violations(Table.empty(["zip", "city"]), lambda3)
+        assert report.satisfied
+        assert report.violation_ratio == 0.0
+
+    def test_constant_rule_ignores_non_matching_lhs(self, lambda3):
+        from repro.dataset.table import Table
+
+        table = Table.from_rows(["zip", "city"], [["60601", "Chicago"]])
+        assert check_satisfaction(table, lambda3)
+
+    def test_string_lhs_variable_rule(self):
+        from repro.dataset.table import Table
+
+        pfd = PFD.constant("a", "b")
+        pfd.add_rule({"a": "k1", "b": WILDCARD})
+        table = Table.from_rows(["a", "b"], [["k1", "x"], ["k1", "y"], ["k2", "z"]])
+        report = find_tableau_violations(table, pfd)
+        assert [(i, j) for i, j, _ in report.variable_violations] == [(0, 1)]
+
+    def test_wildcard_lhs_variable_rule_compares_all_pairs(self):
+        from repro.dataset.table import Table
+
+        pfd = PFD.constant("a", "b")
+        pfd.add_rule({"a": WILDCARD, "b": WILDCARD})
+        table = Table.from_rows(["a", "b"], [["1", "x"], ["2", "x"], ["3", "y"]])
+        report = find_tableau_violations(table, pfd)
+        assert len(report.variable_violations) == 2
+
+    def test_plain_pattern_lhs_means_whole_value_equality(self):
+        from repro.dataset.table import Table
+
+        pfd = PFD.constant("zip", "city")
+        pfd.add_rule({"zip": parse_pattern("\\D{5}"), "city": WILDCARD})
+        table = Table.from_rows(
+            ["zip", "city"],
+            [["90001", "LA"], ["90001", "NY"], ["90002", "SF"]],
+        )
+        report = find_tableau_violations(table, pfd)
+        assert [(i, j) for i, j, _ in report.variable_violations] == [(0, 1)]
