@@ -9,9 +9,26 @@ the run log doubles as the data behind EXPERIMENTS.md.  Run with::
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 import pytest
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark everything in benchmarks/ with the ``bench`` marker.
+
+    Combined with ``testpaths = tests`` in pytest.ini this keeps tier-1
+    (`pytest -x -q`) fast while `pytest benchmarks/` (or `-m bench`)
+    opts in explicitly.  The hook receives the whole session's items, so
+    only items that actually live under this directory are marked —
+    a mixed `pytest tests/... benchmarks/...` run must not drag unit
+    tests into the marker.
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    for item in items:
+        if str(item.fspath).startswith(bench_dir):
+            item.add_marker(pytest.mark.bench)
 
 from repro.datagen import (
     generate_fullname_gender,

@@ -1,0 +1,182 @@
+"""Hot-path benchmark runner — writes the persisted perf baseline.
+
+Runs the discovery-scalability, detection-strategies, and index-ablation
+workloads and writes ``BENCH_hotpath.json`` at the repository root: a
+machine-readable map of bench name → wall-clock seconds, with the
+pre-optimization numbers kept under ``"baseline"`` so every subsequent
+run reports its speedup against the committed starting point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py              # measure, keep baseline
+    PYTHONPATH=src python benchmarks/run_bench.py --record-baseline
+    PYTHONPATH=src python benchmarks/run_bench.py --cold       # clear caches per round
+
+``--record-baseline`` overwrites the stored baseline with the numbers
+just measured (used once, before the optimization work).  ``--cold``
+clears the shared pattern/match caches before every round, measuring the
+cache-off path.  See docs/PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.constrained import constrained_prefix  # noqa: E402
+from repro.datagen import generate_phone_state, generate_zip_city_state  # noqa: E402
+from repro.detection import DetectionStrategy, ErrorDetector  # noqa: E402
+from repro.discovery import PfdDiscoverer  # noqa: E402
+from repro.patterns import parse_pattern  # noqa: E402
+from repro.pfd import PFD  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
+
+
+def _clear_shared_caches() -> None:
+    """Reset every process-wide cache (only when it exists in this tree)."""
+    try:
+        from repro import perf
+    except ImportError:  # pre-optimization tree: nothing to clear
+        return
+    perf.clear_caches()
+
+
+def _lambda5() -> PFD:
+    """The zip-prefix → city variable PFD used by the strategy benches."""
+    return PFD.variable(
+        "zip",
+        "city",
+        constrained_prefix(3, parse_pattern("\\D{2}"), head=parse_pattern("\\D{3}")),
+        name="lambda5",
+    )
+
+
+def _bench_discovery(n_rows: int) -> Tuple[Callable[[], object], int]:
+    table = generate_zip_city_state(n_rows=n_rows, seed=23).table
+    return (lambda: PfdDiscoverer().discover(table)), (2 if n_rows >= 4000 else 3)
+
+
+def _bench_detection(strategy: str, n_rows: int = 2000) -> Tuple[Callable[[], object], int]:
+    table = generate_zip_city_state(n_rows=n_rows, seed=23).table
+    pfd = _lambda5()
+
+    def run() -> object:
+        return ErrorDetector(table).detect(pfd, strategy=strategy)
+
+    rounds = 3 if strategy == DetectionStrategy.BRUTEFORCE else 15
+    return run, rounds
+
+
+def _bench_index_ablation() -> Tuple[Callable[[], object], int]:
+    table = generate_phone_state(n_rows=2000, seed=11, error_rate=0.02).table
+    pfds = [p for p in PfdDiscoverer().discover(table) if p.is_constant]
+    assert pfds, "index-ablation setup found no constant PFDs"
+
+    def run() -> object:
+        detector = ErrorDetector(table)
+        report = None
+        for pfd in pfds:
+            partial = detector.detect(pfd, strategy=DetectionStrategy.INDEX)
+            report = partial if report is None else report.merged_with(partial)
+        return report
+
+    return run, 5
+
+
+#: bench name → zero-argument setup returning (workload, default rounds).
+BENCHES: Dict[str, Callable[[], Tuple[Callable[[], object], int]]] = {
+    "discovery_scalability_2000": lambda: _bench_discovery(2000),
+    "discovery_scalability_8000": lambda: _bench_discovery(8000),
+    "detection_index_2000": lambda: _bench_detection(DetectionStrategy.INDEX),
+    "detection_scan_2000": lambda: _bench_detection(DetectionStrategy.SCAN),
+    "detection_bruteforce_2000": lambda: _bench_detection(DetectionStrategy.BRUTEFORCE),
+    "index_ablation_phone_2000": lambda: _bench_index_ablation(),
+}
+
+
+def measure(run: Callable[[], object], rounds: int, cold: bool) -> float:
+    """Best-of-``rounds`` wall-clock seconds for one workload."""
+    timings: List[float] = []
+    for _ in range(rounds):
+        if cold:
+            _clear_shared_caches()
+        started = time.perf_counter()
+        run()
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store the measured numbers as the baseline too",
+    )
+    parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="clear shared caches before every round (measures the cache-off path)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="run only the named benches"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or list(BENCHES)
+    unknown = [n for n in names if n not in BENCHES]
+    if unknown:
+        parser.error(f"unknown bench names: {unknown}; known: {list(BENCHES)}")
+
+    previous: Dict[str, object] = {}
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+    baseline: Dict[str, float] = dict(previous.get("baseline", {}))
+    current: Dict[str, float] = dict(previous.get("current", {}))
+
+    for name in names:
+        run, rounds = BENCHES[name]()
+        _clear_shared_caches()
+        seconds = measure(run, rounds, cold=args.cold)
+        current[name] = round(seconds, 6)
+        if args.record_baseline:
+            baseline[name] = round(seconds, 6)
+        base = baseline.get(name)
+        speedup = f"  ({base / seconds:.2f}x vs baseline)" if base else ""
+        print(f"{name:32s} {seconds * 1000:10.2f} ms{speedup}")
+
+    payload = {
+        "_meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "mode": "cold" if args.cold else "warm",
+            "note": (
+                "seconds are best-of-N wall clock; 'baseline' is the pre-PR "
+                "tree, 'current' the tree at measurement time"
+            ),
+        },
+        "baseline": baseline,
+        "current": current,
+        "speedup": {
+            name: round(baseline[name] / current[name], 3)
+            for name in current
+            if baseline.get(name) and current[name] > 0
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

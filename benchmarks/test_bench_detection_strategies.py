@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro import perf
 from repro.constrained import constrained_prefix
 from repro.datagen import generate_zip_city_state
 from repro.detection import DetectionStrategy, ErrorDetector
@@ -33,6 +34,10 @@ def make_pfd() -> PFD:
 
 
 def run_strategy(table, strategy):
+    # Each measurement starts cold: the process-wide perf caches would
+    # otherwise let whichever strategy runs first pay the matching cost
+    # for all the others, flattening the very curves E8 exists to show.
+    perf.clear_caches()
     detector = ErrorDetector(table)
     return detector.detect(make_pfd(), strategy=strategy)
 

@@ -15,7 +15,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConstraintError
 from repro.patterns.pattern import Pattern
-from repro.patterns.regex import pattern_to_regex_source
 from repro.patterns.syntax import ClassAtom, Element, Literal, ONE, Quantifier
 
 
@@ -49,6 +48,7 @@ class ConstrainedPattern:
                 "a constrained pattern must mark at least one segment as constrained"
             )
         self._segments: Tuple[Segment, ...] = tuple(segments)
+        self._hash: Optional[int] = None
         self._regex = self._compile()
 
     # -- constructors ----------------------------------------------------------
@@ -126,19 +126,19 @@ class ConstrainedPattern:
         return self._segments == other._segments
 
     def __hash__(self) -> int:
-        return hash(self._segments)
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._segments)
+        return value
 
     # -- matching & projection ----------------------------------------------------
 
     def _compile(self) -> "re.Pattern[str]":
-        parts = []
-        for segment in self._segments:
-            source = pattern_to_regex_source(segment.pattern)
-            if segment.constrained:
-                parts.append("(" + source + ")")
-            else:
-                parts.append("(?:" + source + ")")
-        return re.compile("".join(parts))
+        # Compilation is shared process-wide: equal segment tuples (equal
+        # constrained patterns, however constructed) compile exactly once.
+        from repro.perf.pattern_cache import constrained_regex_for
+
+        return constrained_regex_for(self._segments)
 
     def matches(self, value: str) -> bool:
         """``s ↦ Q``: the value matches the embedded pattern."""

@@ -15,7 +15,7 @@ from repro.dataset.inference import infer_column_type
 from repro.dataset.schema import DataType
 from repro.dataset.table import Table
 from repro.patterns.generalize import PatternHistogram, generalize_string
-from repro.patterns.tokenizer import tokenize
+from repro.patterns.tokenizer import cached_tokenize
 
 
 @dataclass
@@ -144,13 +144,25 @@ def _looks_like_code(profile: ColumnProfile) -> bool:
 
 
 def profile_column(name: str, values: Sequence[str], max_patterns: int = 25) -> ColumnProfile:
-    """Profile a single column of string values."""
+    """Profile a single column of string values.
+
+    All per-value work (tokenization, generalization) runs once per
+    *distinct* value — duplicates contribute only their count, keeping
+    profiling linear in distinct values rather than rows.
+    """
     n_values = len(values)
     non_empty = [v for v in values if v != ""]
     n_empty = n_values - len(non_empty)
     distinct = set(values)
     lengths = [len(v) for v in non_empty] or [0]
-    token_counts = [len(tokenize(v)) for v in non_empty] or [0]
+
+    # Distinct non-empty values with their multiplicities, first-seen order.
+    value_counts: Dict[str, int] = {}
+    for value in non_empty:
+        value_counts[value] = value_counts.get(value, 0) + 1
+
+    tokens_by_value = {value: cached_tokenize(value) for value in value_counts}
+    token_counts = [len(tokens_by_value[v]) for v in non_empty] or [0]
 
     histogram = PatternHistogram(non_empty, level=1)
     signature_histogram = PatternHistogram(non_empty, level=2)
@@ -173,10 +185,10 @@ def profile_column(name: str, values: Sequence[str], max_patterns: int = 25) -> 
 
     token_stats: Dict[tuple, int] = {}
     token_examples: Dict[tuple, List[str]] = {}
-    for value in non_empty:
-        for token in tokenize(value):
+    for value, occurrences in value_counts.items():
+        for token in tokens_by_value[value]:
             key = (generalize_string(token.normalized or token.text, level=1).to_text(), token.position)
-            token_stats[key] = token_stats.get(key, 0) + 1
+            token_stats[key] = token_stats.get(key, 0) + occurrences
             examples = token_examples.setdefault(key, [])
             if len(examples) < 3 and token.text not in examples:
                 examples.append(token.text)

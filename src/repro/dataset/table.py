@@ -63,6 +63,9 @@ class Table:
         self._schema = schema
         self._columns = normalized
         self._n_rows = normalized[0].__len__() if normalized else 0
+        # Mutation counter: bumped by set_cell so per-table derived
+        # artifacts (see repro.perf.table_cache) can detect staleness.
+        self._version = 0
 
     # -- constructors --------------------------------------------------------
 
@@ -137,6 +140,11 @@ class Table:
     @property
     def n_columns(self) -> int:
         return len(self._schema)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter — incremented by every :meth:`set_cell`."""
+        return self._version
 
     def __len__(self) -> int:
         return self._n_rows
@@ -268,6 +276,7 @@ class Table:
         """Destructively overwrite one cell (used by corruption and repair)."""
         self._check_row(row)
         self._columns[self._schema.index_of(name)][row] = _stringify(value)
+        self._version += 1
 
     # -- analytics helpers ----------------------------------------------------
 

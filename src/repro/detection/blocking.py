@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.perf.memo import MatchMemo
 
 
 def block_by_key(
@@ -38,8 +39,16 @@ def block_by_projection(
     rows: Sequence[int],
     values: Sequence[str],
     pattern: ConstrainedPattern,
+    memo: Optional[MatchMemo] = None,
 ) -> Dict[Tuple[str, ...], List[int]]:
-    """Group rows by the constrained projection ``s(Q)`` of their value."""
+    """Group rows by the constrained projection ``s(Q)`` of their value.
+
+    With a ``memo`` the projection regex runs once per distinct value
+    instead of once per row (and the verdicts are shared with every
+    other rule over the same pattern).
+    """
+    if memo is not None:
+        return block_by_key(rows, values, memo.projector(pattern))
     return block_by_key(rows, values, pattern.blocking_key)
 
 

@@ -18,7 +18,7 @@ Strategies (Section 3 of the paper):
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
 from repro.dataset.table import Table
@@ -31,6 +31,8 @@ from repro.detection.index import PatternColumnIndex
 from repro.detection.violation import Violation, ViolationKind, ViolationReport
 from repro.errors import DetectionError
 from repro.patterns.pattern import Pattern
+from repro.perf import TABLE_ARTIFACTS
+from repro.perf.memo import MatchMemo, MATCH_MEMO
 from repro.pfd.pfd import PFD
 from repro.pfd.tableau import TableauRow, Wildcard, cell_matches, cell_to_text
 
@@ -47,19 +49,35 @@ class DetectionStrategy:
 
 
 class ErrorDetector:
-    """Applies PFDs to a table and reports violations."""
+    """Applies PFDs to a table and reports violations.
 
-    def __init__(self, table: Table):
+    Detectors share two process-wide caches: the per-table pattern
+    column indexes (rebuilding them per detector instance was pure
+    waste — they depend only on the column contents) and the
+    :class:`MatchMemo` of per-distinct-value verdicts reused by every
+    rule touching a column.  Pass a private ``memo`` to isolate a
+    detector from the shared one.
+    """
+
+    def __init__(self, table: Table, memo: Optional[MatchMemo] = None):
         self.table = table
-        self._indexes: Dict[str, PatternColumnIndex] = {}
+        self.memo = MATCH_MEMO if memo is None else memo
 
     # -- public API ----------------------------------------------------------------
 
     def column_index(self, attribute: str) -> PatternColumnIndex:
-        """The (cached) pattern index of a column."""
-        if attribute not in self._indexes:
-            self._indexes[attribute] = PatternColumnIndex(self.table.column_ref(attribute))
-        return self._indexes[attribute]
+        """The (cached) pattern index of a column.
+
+        Always resolved through the shared artifact cache — it checks
+        ``table.version``, so an index built before a ``set_cell`` is
+        rebuilt instead of served stale.  (No instance-level cache on
+        purpose: it would be version-blind.)
+        """
+        return TABLE_ARTIFACTS.get(
+            self.table,
+            ("pattern_column_index", attribute),
+            lambda: PatternColumnIndex(self.table.column_ref(attribute)),
+        )
 
     def detect(self, pfd: PFD, strategy: str = DetectionStrategy.AUTO) -> ViolationReport:
         """Detect all violations of one PFD."""
@@ -108,13 +126,28 @@ class ErrorDetector:
         values: Sequence[str],
         strategy: str,
         report: ViolationReport,
-    ) -> List[int]:
-        """Rows whose LHS value satisfies the rule's LHS cell."""
+    ) -> Sequence[int]:
+        """Rows whose LHS value satisfies the rule's LHS cell.
+
+        Returns a direct reference to index-owned storage on the indexed
+        constant path (no defensive copy) — callers only iterate.
+        """
         use_index = strategy in (DetectionStrategy.AUTO, DetectionStrategy.INDEX)
         if use_index and isinstance(lhs_cell, (Pattern, ConstrainedPattern)):
+            # Matching rows are a pure function of (column, pattern); the
+            # shared artifact cache hands the same tuple to every rule and
+            # every detector over this table.  The candidate count is
+            # replayed so the comparisons statistic stays identical.
             index = self.column_index(attribute)
-            rows = index.matching_rows(lhs_cell)
-            report.comparisons += index.last_candidates_tested
+
+            def compute() -> Tuple[Tuple[int, ...], int]:
+                rows = tuple(index.matching_rows(lhs_cell, self.memo))
+                return rows, index.last_candidates_tested
+
+            rows, candidates_tested = TABLE_ARTIFACTS.get(
+                self.table, ("matching_rows", attribute, lhs_cell), compute
+            )
+            report.comparisons += candidates_tested
             return rows
         if use_index and isinstance(lhs_cell, str):
             return self.column_index(attribute).matching_constant(lhs_cell)
@@ -140,23 +173,25 @@ class ErrorDetector:
         lhs = pfd.lhs_attribute
         rhs = pfd.rhs_attribute
         expected = cell_to_text(rhs_cell) if not isinstance(rhs_cell, Wildcard) else None
+        pfd_name = pfd.name or str(pfd.fd)
+        rule_text = rule.render()  # rendered once per rule, not per violation
         for row in self._matching_rows(lhs, lhs_cell, lhs_values, strategy, report):
             report.comparisons += 1
             if cell_matches(rhs_cell, rhs_values[row]):
                 continue
             report.add(
                 Violation(
-                    pfd_name=pfd.name or str(pfd.fd),
+                    pfd_name=pfd_name,
                     lhs_attribute=lhs,
                     rhs_attribute=rhs,
                     kind=ViolationKind.CONSTANT,
                     rule_index=rule_index,
-                    rule_text=rule.render(),
+                    rule_text=rule_text,
                     rows=(row,),
                     cells=((row, lhs), (row, rhs)),
                     suspect_cell=(row, rhs),
                     observed_value=rhs_values[row],
-                    expected_value=expected if isinstance(rhs_cell, str) else expected,
+                    expected_value=expected,
                 )
             )
 
@@ -185,7 +220,15 @@ class ErrorDetector:
                 report, pfd, rule_index, rule, pairs, lhs, rhs, rhs_values
             )
             return
-        blocks = block_by_projection(matching, lhs_values, constrained)
+        # Projection blocks depend only on (LHS column, pattern) — share
+        # them across rules, strategies, and detector instances.
+        blocks = TABLE_ARTIFACTS.get(
+            self.table,
+            ("projection_blocks", lhs, constrained),
+            lambda: block_by_projection(matching, lhs_values, constrained, memo=self.memo),
+        )
+        pfd_name = pfd.name or str(pfd.fd)
+        rule_text = rule.render()  # rendered once per rule, not per violation
         for block_rows in blocks.values():
             if len(block_rows) < 2:
                 continue
@@ -202,12 +245,12 @@ class ErrorDetector:
                     witness = witnesses[0]
                     report.add(
                         Violation(
-                            pfd_name=pfd.name or str(pfd.fd),
+                            pfd_name=pfd_name,
                             lhs_attribute=lhs,
                             rhs_attribute=rhs,
                             kind=ViolationKind.VARIABLE,
                             rule_index=rule_index,
-                            rule_text=rule.render(),
+                            rule_text=rule_text,
                             rows=(witness, row),
                             cells=(
                                 (witness, lhs),
@@ -229,16 +272,25 @@ class ErrorDetector:
         rhs_values: Sequence[str],
         report: ViolationReport,
     ) -> List[Tuple[int, int]]:
-        """All violating pairs found by comparing every pair of matching rows."""
+        """All violating pairs found by comparing every pair of matching rows.
+
+        Projections are memoized per distinct value, so the quadratic
+        pair loop degenerates to dictionary lookups instead of running
+        the projection regex twice per pair.
+        """
+        project = self.memo.projector(constrained)
         pairs: List[Tuple[int, int]] = []
         for i_index in range(len(matching)):
             i = matching[i_index]
+            left_projection = project(lhs_values[i])
             for j_index in range(i_index + 1, len(matching)):
                 j = matching[j_index]
                 report.comparisons += 1
                 if rhs_values[i] == rhs_values[j]:
                     continue
-                if constrained.equivalent(lhs_values[i], lhs_values[j]):
+                if left_projection is None:
+                    continue
+                if left_projection == project(lhs_values[j]):
                     pairs.append((i, j))
         return pairs
 

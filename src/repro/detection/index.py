@@ -3,13 +3,18 @@
 "For better performance, we create an index supporting regular
 expressions for each column present on the LHS of the PFDs.  In this
 case, the search for violations will be limited to those tuples that
-match tp[A]."  This module implements that index with two accelerations:
+match tp[A]."  This module implements that index with three
+accelerations:
 
 * matching is evaluated once per *distinct* value rather than once per
-  row (columns such as city or gender have few distinct values);
+  row (columns such as city or gender have few distinct values), and the
+  verdicts are memoized in the shared :class:`~repro.perf.memo.MatchMemo`
+  so every rule touching the column reuses them;
 * patterns with a literal prefix (``850\\D{7}``, ``6060\\D``) are answered
   from a sorted array of distinct values via binary search on the prefix,
-  so only values sharing the prefix are regex-tested.
+  so only values sharing the prefix are regex-tested;
+* row lists are stored and returned as immutable tuples — lookups hand
+  out references, never copies.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
 from repro.patterns.pattern import Pattern
+from repro.perf.memo import MatchMemo, MATCH_MEMO
 
 
 class PatternColumnIndex:
@@ -26,9 +32,13 @@ class PatternColumnIndex:
 
     def __init__(self, values: Sequence[str]):
         self._n_rows = len(values)
-        self._rows_by_value: Dict[str, List[int]] = {}
+        rows_by_value: Dict[str, List[int]] = {}
         for row, value in enumerate(values):
-            self._rows_by_value.setdefault(value, []).append(row)
+            rows_by_value.setdefault(value, []).append(row)
+        #: value → immutable tuple of row indexes (shared, never copied)
+        self._rows_by_value: Dict[str, Tuple[int, ...]] = {
+            value: tuple(rows) for value, rows in rows_by_value.items()
+        }
         self._sorted_values: List[str] = sorted(self._rows_by_value)
         #: statistics: how many distinct values were regex-tested by the
         #: last lookup (used by the strategy-comparison benchmark)
@@ -44,9 +54,9 @@ class PatternColumnIndex:
     def n_distinct(self) -> int:
         return len(self._sorted_values)
 
-    def rows_of_value(self, value: str) -> List[int]:
-        """Rows holding exactly ``value``."""
-        return list(self._rows_by_value.get(value, ()))
+    def rows_of_value(self, value: str) -> Tuple[int, ...]:
+        """Rows holding exactly ``value`` (a shared immutable tuple)."""
+        return self._rows_by_value.get(value, ())
 
     # -- lookups -----------------------------------------------------------------
 
@@ -67,20 +77,30 @@ class PatternColumnIndex:
         high = bisect.bisect_left(self._sorted_values, upper_key)
         return self._sorted_values[low:high]
 
-    def matching_values(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[str]:
-        """Distinct values matching the pattern."""
+    def matching_values(
+        self,
+        pattern: Union[Pattern, ConstrainedPattern],
+        memo: Optional[MatchMemo] = None,
+    ) -> List[str]:
+        """Distinct values matching the pattern (memoized verdicts)."""
+        memo = MATCH_MEMO if memo is None else memo
         candidates = self._candidate_values(pattern)
         self.last_candidates_tested = len(candidates)
-        return [value for value in candidates if pattern.matches(value)]
+        matches = memo.matcher(pattern)
+        return [value for value in candidates if matches(value)]
 
-    def matching_rows(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[int]:
+    def matching_rows(
+        self,
+        pattern: Union[Pattern, ConstrainedPattern],
+        memo: Optional[MatchMemo] = None,
+    ) -> List[int]:
         """Row indexes whose value matches the pattern, sorted."""
         rows: List[int] = []
-        for value in self.matching_values(pattern):
+        for value in self.matching_values(pattern, memo):
             rows.extend(self._rows_by_value[value])
         rows.sort()
         return rows
 
-    def matching_constant(self, constant: str) -> List[int]:
+    def matching_constant(self, constant: str) -> Tuple[int, ...]:
         """Rows equal to a constant (degenerate pattern)."""
         return self.rows_of_value(constant)

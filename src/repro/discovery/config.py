@@ -49,6 +49,11 @@ class DiscoveryConfig:
         distinct *and* unstructured are skipped.
     max_candidate_columns:
         Safety valve for very wide tables.
+    n_workers:
+        Opt-in parallelism for the candidate-mining stage.  ``0`` or
+        ``1`` mine serially; ``>1`` fans the (embarrassingly parallel)
+        candidate dependencies out over ``concurrent.futures`` workers.
+        Results are byte-identical to the serial path.
     """
 
     min_coverage: float = 0.6
@@ -63,8 +68,11 @@ class DiscoveryConfig:
     max_lhs_distinct_ratio: float = 0.98
     max_candidate_columns: int = 24
     max_constrained_token_position: int = 3
+    n_workers: int = 0
 
     def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise DiscoveryError(f"n_workers must be >= 0, got {self.n_workers}")
         if not 0.0 <= self.min_coverage <= 1.0:
             raise DiscoveryError(f"min_coverage must be in [0, 1], got {self.min_coverage}")
         if not 0.0 <= self.allowed_violation_ratio < 1.0:

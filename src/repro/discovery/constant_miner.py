@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.decision import DecisionFunction, MajorityDecision, PatternTupleCandidate
-from repro.discovery.inverted_index import InvertedList
+from repro.discovery.inverted_index import ColumnTokenization, InvertedList
 
 
 class ConstantPfdMiner:
@@ -33,18 +33,25 @@ class ConstantPfdMiner:
         lhs_values: Sequence[str],
         rhs_values: Sequence[str],
         mode: str,
+        tokenization: Optional[ColumnTokenization] = None,
     ) -> List[PatternTupleCandidate]:
         """Return the selected pattern tuples for ``A → B``.
 
         ``mode`` is the token extraction mode for the LHS column
-        (``"token"``, ``"ngram"`` or ``"prefix"``).
+        (``"token"``, ``"ngram"`` or ``"prefix"``).  ``tokenization``
+        optionally supplies the LHS column's prebuilt single-pass
+        tokenization (see :class:`ColumnTokenization`) so candidates
+        sharing an LHS column do not re-tokenize it.
         """
-        index = InvertedList.build(
-            lhs_values,
-            rhs_values,
-            mode=mode,
-            ngram_size=self.config.ngram_size,
-        )
+        if tokenization is not None and tokenization.mode == mode:
+            index = InvertedList.from_tokenization(tokenization, rhs_values)
+        else:
+            index = InvertedList.build(
+                lhs_values,
+                rhs_values,
+                mode=mode,
+                ngram_size=self.config.ngram_size,
+            )
         candidates: List[PatternTupleCandidate] = []
         for entry in index.entries(min_support=self.config.min_support):
             candidate = self.decision.decide(entry, lhs_values, self.config)

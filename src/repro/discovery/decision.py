@@ -15,7 +15,8 @@ from repro.discovery.config import DiscoveryConfig
 from repro.discovery.inverted_index import InvertedEntry
 from repro.patterns.generalize import generalize_strings, generalize_with_literal_prefix
 from repro.patterns.pattern import Pattern
-from repro.patterns.tokenizer import tokenize
+from repro.patterns.tokenizer import cached_tokenize
+from repro.perf.memo import MATCH_MEMO
 
 
 @dataclass
@@ -83,13 +84,15 @@ class MajorityDecision(DecisionFunction):
         pattern = self._build_pattern(entry, covered_values)
         if pattern is None:
             return None
-        matching = [i for i in covered if pattern.matches(lhs_values[i])]
+        matches = MATCH_MEMO.matcher(pattern)
+        matching = [i for i in covered if matches(lhs_values[i])]
         if len(matching) < config.min_support:
             return None
-        agreeing = [i for i in matching if _rhs_of(entry, i) == top_value]
+        rhs_of = entry.rhs_map().get
+        agreeing = [i for i in matching if rhs_of(i, "") == top_value]
         if not matching or len(agreeing) / len(matching) < config.min_agreement:
             return None
-        violating = [i for i in matching if _rhs_of(entry, i) != top_value]
+        violating = [i for i in matching if rhs_of(i, "") != top_value]
         return PatternTupleCandidate(
             lhs_pattern=pattern,
             rhs_constant=top_value,
@@ -136,7 +139,7 @@ class MajorityDecision(DecisionFunction):
         has_suffix = False
         for value in covered_values:
             found = None
-            for tok in tokenize(value):
+            for tok in cached_tokenize(value):
                 if tok.position == position and (tok.normalized == token or tok.text == token):
                     found = tok
                     break
@@ -161,8 +164,3 @@ class MajorityDecision(DecisionFunction):
         return elements
 
 
-def _rhs_of(entry: InvertedEntry, tuple_id: int) -> str:
-    for posting in entry.postings:
-        if posting.tuple_id == tuple_id:
-            return posting.rhs_value
-    return ""

@@ -9,9 +9,12 @@ ANMAT GUI displays.
 
 from __future__ import annotations
 
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.profiling import TableProfile, profile_table
 from repro.dataset.table import Table
@@ -19,7 +22,9 @@ from repro.discovery.candidates import CandidateDependency, candidate_dependenci
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.constant_miner import ConstantPfdMiner
 from repro.discovery.decision import DecisionFunction, PatternTupleCandidate
+from repro.discovery.inverted_index import ColumnTokenization
 from repro.discovery.variable_miner import VariableCandidate, VariablePfdMiner
+from repro.perf.timers import StageTimers
 from repro.pfd.pfd import PFD
 from repro.pfd.tableau import WILDCARD
 
@@ -95,6 +100,8 @@ class PfdDiscoverer:
         self.config = config or DiscoveryConfig()
         self.constant_miner = ConstantPfdMiner(self.config, decision)
         self.variable_miner = VariablePfdMiner(self.config)
+        #: wall-clock accumulated per pipeline stage across runs
+        self.timers = StageTimers()
 
     def discover(self, table: Table, relation: Optional[str] = None) -> List[PFD]:
         """Discover PFDs and return just the PFD list."""
@@ -108,28 +115,34 @@ class PfdDiscoverer:
     ) -> DiscoveryResult:
         """Run the full pipeline and return PFDs plus statistics."""
         started = time.perf_counter()
-        profile = profile_table(table)
+        with self.timers.stage("profile"):
+            profile = profile_table(table)
         if candidates is None:
-            candidates = candidate_dependencies(table, self.config, profile)
+            with self.timers.stage("candidates"):
+                candidates = candidate_dependencies(table, self.config, profile)
+        candidates = list(candidates)
+        with self.timers.stage("mine"):
+            if self.config.n_workers > 1 and len(candidates) > 1:
+                reports = self._mine_parallel(table, candidates)
+            else:
+                reports = self._mine_serial(table, candidates)
         pfds: List[PFD] = []
-        reports: List[DependencyReport] = []
         counter = 0
-        for candidate in candidates:
-            report = self._mine_candidate(table, candidate)
-            reports.append(report)
-            if not report.accepted:
-                continue
-            if self.config.discover_constant and report.constant_candidates:
-                counter += 1
-                pfds.append(
-                    self._build_constant_pfd(candidate, report, counter, relation)
-                )
-            if self.config.discover_variable:
-                for variable in report.variable_candidates:
+        with self.timers.stage("assemble"):
+            for candidate, report in zip(candidates, reports):
+                if not report.accepted:
+                    continue
+                if self.config.discover_constant and report.constant_candidates:
                     counter += 1
                     pfds.append(
-                        self._build_variable_pfd(candidate, variable, counter, relation)
+                        self._build_constant_pfd(candidate, report, counter, relation)
                     )
+                if self.config.discover_variable:
+                    for variable in report.variable_candidates:
+                        counter += 1
+                        pfds.append(
+                            self._build_variable_pfd(candidate, variable, counter, relation)
+                        )
         elapsed = time.perf_counter() - started
         return DiscoveryResult(
             pfds=pfds,
@@ -141,35 +154,94 @@ class PfdDiscoverer:
 
     # -- per-candidate mining ---------------------------------------------------
 
-    def _mine_candidate(
-        self, table: Table, candidate: CandidateDependency
-    ) -> DependencyReport:
-        started = time.perf_counter()
-        lhs_values = table.column_ref(candidate.lhs)
-        rhs_values = table.column_ref(candidate.rhs)
-        report = DependencyReport(candidate=candidate)
-        if self.config.discover_constant:
-            report.constant_candidates = self.constant_miner.mine(
-                lhs_values, rhs_values, candidate.lhs_mode
+    def _mine_serial(
+        self, table: Table, candidates: Sequence[CandidateDependency]
+    ) -> List[DependencyReport]:
+        """Mine candidates in order, tokenizing each LHS column exactly once.
+
+        The single-pass columnar build: candidates are grouped by their
+        (LHS column, token mode) pair and every group shares one
+        :class:`ColumnTokenization`, so a table with many RHS columns no
+        longer re-tokenizes the LHS per candidate.
+        """
+        tokenizations: Dict[Tuple[str, str], ColumnTokenization] = {}
+        reports: List[DependencyReport] = []
+        for candidate in candidates:
+            tokenization = None
+            if self.config.discover_constant:
+                key = (candidate.lhs, candidate.lhs_mode)
+                tokenization = tokenizations.get(key)
+                if tokenization is None:
+                    tokenization = tokenizations[key] = ColumnTokenization.extract(
+                        table.column_ref(candidate.lhs),
+                        candidate.lhs_mode,
+                        self.config.ngram_size,
+                    )
+            reports.append(
+                _mine_candidate_values(
+                    candidate,
+                    table.column_ref(candidate.lhs),
+                    table.column_ref(candidate.rhs),
+                    self.config,
+                    self.constant_miner,
+                    self.variable_miner,
+                    tokenization=tokenization,
+                )
             )
-            report.coverage = self.constant_miner.coverage(
-                report.constant_candidates, lhs_values
+        return reports
+
+    def _mine_parallel(
+        self, table: Table, candidates: Sequence[CandidateDependency]
+    ) -> List[DependencyReport]:
+        """Fan candidate mining out over ``concurrent.futures`` workers.
+
+        Work is sharded by (LHS column, token mode) so each LHS column
+        crosses the process boundary once and each worker builds its
+        single-pass tokenization once — the same sharing the serial path
+        gets.  Groups are independent (embarrassingly parallel) and the
+        reports are reassembled in candidate order, so output stays
+        byte-identical to the serial path.
+
+        Process workers are preferred; thread workers are used when the
+        config or decision function cannot be pickled, and as a fallback
+        if the pool dies (e.g. fork unavailable).  Genuine mining errors
+        propagate either way.
+        """
+        decision = self.constant_miner.decision
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for position, candidate in enumerate(candidates):
+            groups.setdefault((candidate.lhs, candidate.lhs_mode), []).append(position)
+        # Workers only read the columns, so payloads carry references:
+        # the process pool serializes them on submit, the thread pool
+        # shares them in-process — neither needs an up-front copy.
+        payloads = [
+            (
+                [candidates[i] for i in positions],
+                table.column_ref(lhs),
+                [table.column_ref(candidates[i].rhs) for i in positions],
+                self.config,
+                decision,
             )
-        if self.config.discover_variable:
-            report.variable_candidates = self.variable_miner.mine(
-                lhs_values, rhs_values, candidate.lhs_mode
-            )
-        constant_ok = (
-            bool(report.constant_candidates)
-            and report.coverage >= self.config.min_coverage
-        )
-        variable_ok = bool(report.variable_candidates)
-        if not constant_ok:
-            # below-threshold constant tableaux are dropped (Figure 2 line 13)
-            report.constant_candidates = []
-        report.accepted = constant_ok or variable_ok
-        report.elapsed_seconds = time.perf_counter() - started
-        return report
+            for (lhs, _mode), positions in groups.items()
+        ]
+        max_workers = min(self.config.n_workers, len(payloads))
+        try:
+            pickle.dumps((self.config, decision))
+            executor_cls = ProcessPoolExecutor
+        except Exception:
+            executor_cls = ThreadPoolExecutor
+        try:
+            with executor_cls(max_workers=max_workers) as executor:
+                group_reports = list(executor.map(_mine_candidate_group, payloads))
+        except BrokenProcessPool:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                group_reports = list(executor.map(_mine_candidate_group, payloads))
+        reports: List[Optional[DependencyReport]] = [None] * len(candidates)
+        for positions, group in zip(groups.values(), group_reports):
+            for position, report in zip(positions, group):
+                reports[position] = report
+        return reports  # type: ignore[return-value]
+
 
     # -- PFD construction ----------------------------------------------------------
 
@@ -220,3 +292,72 @@ def _embedded(candidate: CandidateDependency):
     from repro.pfd.fd import EmbeddedFD
 
     return EmbeddedFD.between(candidate.lhs, candidate.rhs)
+
+
+def _mine_candidate_values(
+    candidate: CandidateDependency,
+    lhs_values: Sequence[str],
+    rhs_values: Sequence[str],
+    config: DiscoveryConfig,
+    constant_miner: ConstantPfdMiner,
+    variable_miner: VariablePfdMiner,
+    tokenization: Optional[ColumnTokenization] = None,
+) -> DependencyReport:
+    """The Figure 2 loop body for one ``A → B`` over materialized columns.
+
+    Module-level so both the serial path and the worker processes of
+    ``n_workers > 1`` share one implementation.
+    """
+    started = time.perf_counter()
+    report = DependencyReport(candidate=candidate)
+    if config.discover_constant:
+        report.constant_candidates = constant_miner.mine(
+            lhs_values, rhs_values, candidate.lhs_mode, tokenization=tokenization
+        )
+        report.coverage = constant_miner.coverage(
+            report.constant_candidates, lhs_values
+        )
+    if config.discover_variable:
+        report.variable_candidates = variable_miner.mine(
+            lhs_values, rhs_values, candidate.lhs_mode
+        )
+    constant_ok = (
+        bool(report.constant_candidates)
+        and report.coverage >= config.min_coverage
+    )
+    variable_ok = bool(report.variable_candidates)
+    if not constant_ok:
+        # below-threshold constant tableaux are dropped (Figure 2 line 13)
+        report.constant_candidates = []
+    report.accepted = constant_ok or variable_ok
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _mine_candidate_group(payload) -> List[DependencyReport]:
+    """Worker entry point for :meth:`PfdDiscoverer._mine_parallel`.
+
+    One payload = all candidates sharing one LHS column (and token
+    mode); the worker tokenizes that column once and mines each
+    candidate's RHS against it, mirroring the serial single-pass build.
+    """
+    group_candidates, lhs_values, rhs_columns, config, decision = payload
+    constant_miner = ConstantPfdMiner(config, decision)
+    variable_miner = VariablePfdMiner(config)
+    tokenization = None
+    if config.discover_constant:
+        tokenization = ColumnTokenization.extract(
+            lhs_values, group_candidates[0].lhs_mode, config.ngram_size
+        )
+    return [
+        _mine_candidate_values(
+            candidate,
+            lhs_values,
+            rhs_values,
+            config,
+            constant_miner,
+            variable_miner,
+            tokenization=tokenization,
+        )
+        for candidate, rhs_values in zip(group_candidates, rhs_columns)
+    ]

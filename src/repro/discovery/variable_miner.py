@@ -28,7 +28,8 @@ from repro.constrained.constrained_pattern import (
 from repro.discovery.config import DiscoveryConfig
 from repro.patterns.generalize import generalize_strings
 from repro.patterns.pattern import Pattern
-from repro.patterns.tokenizer import tokenize
+from repro.patterns.tokenizer import cached_tokenize
+from repro.perf.memo import MATCH_MEMO
 
 
 @dataclass
@@ -146,7 +147,7 @@ class VariablePfdMiner:
     def _mine_token(
         self, pairs: Sequence[Tuple[str, str]], n_rows: int
     ) -> Optional[VariableCandidate]:
-        tokenized = [(tokenize(lhs), rhs) for lhs, rhs in pairs]
+        tokenized = [(cached_tokenize(lhs), rhs) for lhs, rhs in pairs]
         max_position = self.config.max_constrained_token_position
         for position in range(max_position + 1):
             usable = [
@@ -173,7 +174,9 @@ class VariablePfdMiner:
             )
             if pattern is None:
                 continue
-            matched = sum(1 for tokens, _ in usable if pattern.matches(_join(tokens)))
+            matched = sum(
+                1 for tokens, _ in usable if MATCH_MEMO.matches(pattern, _join(tokens))
+            )
             if matched / len(usable) < self.config.min_coverage:
                 continue
             return VariableCandidate(

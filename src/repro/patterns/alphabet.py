@@ -70,10 +70,7 @@ class CharClass(enum.Enum):
         )
 
 
-def classify_char(char: str) -> CharClass:
-    """Return the immediate parent class of a character in the tree."""
-    if len(char) != 1:
-        raise ValueError(f"classify_char expects a single character, got {char!r}")
+def _classify_char_slow(char: str) -> CharClass:
     if "A" <= char <= "Z":
         return CharClass.UPPER
     if "a" <= char <= "z":
@@ -81,6 +78,25 @@ def classify_char(char: str) -> CharClass:
     if "0" <= char <= "9":
         return CharClass.DIGIT
     return CharClass.SYMBOL
+
+
+#: Classification table, pre-filled for the Latin-1 range and extended
+#: on demand — classification is a leaf operation of every generalization
+#: and runs once per character of every profiled value.
+_CLASS_BY_CHAR: Dict[str, CharClass] = {
+    chr(code): _classify_char_slow(chr(code)) for code in range(256)
+}
+
+
+def classify_char(char: str) -> CharClass:
+    """Return the immediate parent class of a character in the tree."""
+    cached = _CLASS_BY_CHAR.get(char)
+    if cached is not None:
+        return cached
+    if len(char) != 1:
+        raise ValueError(f"classify_char expects a single character, got {char!r}")
+    cached = _CLASS_BY_CHAR[char] = _classify_char_slow(char)
+    return cached
 
 
 class GeneralizationTree:

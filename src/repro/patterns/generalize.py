@@ -12,6 +12,7 @@ per-column :class:`PatternHistogram` that backs the profiling view
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.patterns.alphabet import CharClass, classify_char
@@ -19,8 +20,13 @@ from repro.patterns.pattern import Pattern
 from repro.patterns.syntax import ClassAtom, Element, Literal, ONE, Quantifier
 
 
-def _class_runs(value: str) -> List[Tuple[CharClass, int]]:
-    """Collapse a string into runs of (character class, length)."""
+@lru_cache(maxsize=131072)
+def _class_runs(value: str) -> Tuple[Tuple[CharClass, int], ...]:
+    """Collapse a string into runs of (character class, length).
+
+    Memoized per distinct value: run decomposition is recomputed for
+    every value of every profiled column and every generalized group.
+    """
     runs: List[Tuple[CharClass, int]] = []
     for char in value:
         char_class = classify_char(char)
@@ -28,30 +34,23 @@ def _class_runs(value: str) -> List[Tuple[CharClass, int]]:
             runs[-1] = (char_class, runs[-1][1] + 1)
         else:
             runs.append((char_class, 1))
-    return runs
+    return tuple(runs)
 
 
+@lru_cache(maxsize=131072)
 def signature_of(value: str) -> Tuple[CharClass, ...]:
     """The sequence of character classes of a value's runs.
 
     Two values with the same signature generalize to the same run
     structure; the signature is the grouping key used when merging values
-    into a single pattern.
+    into a single pattern.  Memoized per distinct value alongside
+    :func:`_class_runs`.
     """
     return tuple(char_class for char_class, _length in _class_runs(value))
 
 
-def generalize_string(value: str, level: int = 1) -> Pattern:
-    """Generalize one value to a pattern at the requested level.
-
-    Levels correspond to walking up the generalization lattice:
-
-    * 0 — the literal value itself (most specific).
-    * 1 — class runs with exact repetition counts, e.g. ``90001`` →
-      ``\\D{5}`` and ``John`` → ``\\LU\\LL{3}``.
-    * 2 — class runs with ``+`` quantifiers, e.g. ``\\LU\\LL+``.
-    * 3 — the most general pattern ``\\A*``.
-    """
+@lru_cache(maxsize=65536)
+def _generalize_string_cached(value: str, level: int) -> Pattern:
     if level <= 0:
         return Pattern.literal(value)
     if level >= 3:
@@ -64,6 +63,30 @@ def generalize_string(value: str, level: int = 1) -> Pattern:
             quantifier = Quantifier(1, None) if length >= 1 else ONE
         elements.append(Element(ClassAtom(char_class), quantifier))
     return Pattern(elements)
+
+
+def generalize_string(value: str, level: int = 1) -> Pattern:
+    """Generalize one value to a pattern at the requested level.
+
+    Levels correspond to walking up the generalization lattice:
+
+    * 0 — the literal value itself (most specific).
+    * 1 — class runs with exact repetition counts, e.g. ``90001`` →
+      ``\\D{5}`` and ``John`` → ``\\LU\\LL{3}``.
+    * 2 — class runs with ``+`` quantifiers, e.g. ``\\LU\\LL+``.
+    * 3 — the most general pattern ``\\A*``.
+
+    Memoized per (value, level); patterns are immutable, so the shared
+    instances are safe to reuse anywhere.
+    """
+    return _generalize_string_cached(value, level)
+
+
+def clear_generalization_memos() -> None:
+    """Reset the per-value memos (see :func:`repro.perf.clear_caches`)."""
+    _class_runs.cache_clear()
+    signature_of.cache_clear()
+    _generalize_string_cached.cache_clear()
 
 
 def generalize_strings(values: Sequence[str]) -> Optional[Pattern]:
@@ -146,15 +169,22 @@ class PatternHistogram:
     def __init__(self, values: Iterable[str], level: int = 1, max_examples: int = 3):
         counts: Dict[str, PatternCount] = {}
         total = 0
+        # Generalize once per *distinct* value: duplicate values map to the
+        # same pattern, and real columns are dominated by repeats.  The
+        # first-seen iteration order of the per-value counter keeps the
+        # example lists identical to a plain one-pass scan.
+        by_value: Dict[str, int] = {}
         for value in values:
+            by_value[value] = by_value.get(value, 0) + 1
             total += 1
+        for value, occurrences in by_value.items():
             pattern = generalize_string(value, level=level)
             key = pattern.to_text()
             entry = counts.get(key)
             if entry is None:
-                counts[key] = PatternCount(pattern, 1, [value])
+                counts[key] = PatternCount(pattern, occurrences, [value])
             else:
-                entry.count += 1
+                entry.count += occurrences
                 if len(entry.examples) < max_examples and value not in entry.examples:
                     entry.examples.append(value)
         self._counts = counts

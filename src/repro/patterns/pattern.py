@@ -14,16 +14,27 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PatternSyntaxError
 from repro.patterns.alphabet import CharClass
-from repro.patterns.nfa import Nfa, build_nfa
+from repro.patterns.nfa import Nfa
 from repro.patterns.syntax import ClassAtom, Element, Literal, ONE, Quantifier
 
 _ANY_STAR_TEXT = "\\A*"
 
+_UNSET = object()
+
 
 class Pattern:
-    """An immutable pattern over the generalization-tree alphabet."""
+    """An immutable pattern over the generalization-tree alphabet.
 
-    __slots__ = ("_elements", "_source", "_nfa", "_regex")
+    Compiled artifacts (regex, NFA) live in the process-wide caches of
+    :mod:`repro.perf.pattern_cache`, keyed by the pattern value itself —
+    structurally equal patterns share one compilation no matter how many
+    instances exist.  Each instance additionally keeps a *pointer* to the
+    shared artifact after the first use, so hot matching loops pay no
+    cache-lookup cost; the hash and rendered text are memoized the same
+    way.
+    """
+
+    __slots__ = ("_elements", "_source", "_hash", "_text", "_regex", "_nfa")
 
     def __init__(self, elements: Iterable[Element], source: Optional[str] = None):
         self._elements: Tuple[Element, ...] = tuple(elements)
@@ -33,8 +44,10 @@ class Pattern:
                     f"Pattern expects Element instances, got {element!r}"
                 )
         self._source = source
+        self._hash: Optional[int] = None
+        self._text: Optional[str] = None
+        self._regex = _UNSET  # None is a valid cached value (compile failure)
         self._nfa: Optional[Nfa] = None
-        self._regex: Optional["re.Pattern[str]"] = None
 
     # -- constructors ----------------------------------------------------------
 
@@ -144,8 +157,11 @@ class Pattern:
     # -- rendering ---------------------------------------------------------------
 
     def to_text(self) -> str:
-        """Render back to the paper's concrete syntax."""
-        return "".join(e.to_text() for e in self._elements)
+        """Render back to the paper's concrete syntax (memoized)."""
+        text = self._text
+        if text is None:
+            text = self._text = "".join(e.to_text() for e in self._elements)
+        return text
 
     @property
     def source(self) -> Optional[str]:
@@ -158,6 +174,11 @@ class Pattern:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Pattern({self.to_text()!r})"
 
+    def __reduce__(self):
+        # Pickle only the value; compiled-artifact pointers and memos are
+        # process-local and rebuilt lazily on the other side.
+        return (Pattern, (self._elements, self._source))
+
     # -- equality / hashing -------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
@@ -166,16 +187,22 @@ class Pattern:
         return self._elements == other._elements
 
     def __hash__(self) -> int:
-        return hash(self._elements)
+        value = self._hash
+        if value is None:
+            value = self._hash = hash(self._elements)
+        return value
 
     # -- matching -----------------------------------------------------------------
 
     @property
     def nfa(self) -> Nfa:
-        """The compiled epsilon-NFA (built lazily, cached)."""
-        if self._nfa is None:
-            self._nfa = build_nfa(self._elements)
-        return self._nfa
+        """The compiled epsilon-NFA (shared across equal patterns)."""
+        nfa = self._nfa
+        if nfa is None:
+            from repro.perf.pattern_cache import shared_nfa_for
+
+            nfa = self._nfa = shared_nfa_for(self)
+        return nfa
 
     def matches(self, text: str) -> bool:
         """Whether ``text`` matches this pattern (``s ↦ P`` in the paper).
@@ -194,12 +221,14 @@ class Pattern:
         return self.nfa.matches_string(text)
 
     def compiled_regex(self) -> Optional["re.Pattern[str]"]:
-        """The pattern compiled to a Python regex, or None if unsupported."""
-        if self._regex is None:
-            from repro.patterns.regex import compile_to_regex
+        """The pattern compiled to a Python regex (shared across equal
+        patterns), or None if unsupported."""
+        regex = self._regex
+        if regex is _UNSET:
+            from repro.perf.pattern_cache import shared_regex_for
 
-            self._regex = compile_to_regex(self)
-        return self._regex
+            regex = self._regex = shared_regex_for(self)
+        return regex
 
     def filter_matching(self, values: Sequence[str]) -> List[int]:
         """Indexes of the values that match this pattern."""

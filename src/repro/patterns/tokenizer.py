@@ -12,7 +12,8 @@ the paper uses them "to extract patterns from attributes that contain
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from functools import lru_cache
+from typing import Iterator, List, Optional, Tuple
 
 _PUNCTUATION_STRIP = ".,;:!?\"'()[]{}"
 
@@ -67,6 +68,18 @@ def tokenize(value: str) -> List[Token]:
         tokens.append(Token(text, position, start, _normalize(text)))
         position += 1
     return tokens
+
+
+@lru_cache(maxsize=131072)
+def cached_tokenize(value: str) -> Tuple[Token, ...]:
+    """Memoized :func:`tokenize` for hot loops.
+
+    Column values repeat heavily (within a column and across the many
+    candidate dependencies sharing an LHS column), so tokenization is
+    memoized per distinct value.  Returns an immutable tuple — callers
+    must not mutate it.
+    """
+    return tuple(tokenize(value))
 
 
 def ngrams(value: str, n: int) -> List[Token]:

@@ -1,0 +1,123 @@
+"""Hot-path performance subsystem.
+
+Shared, process-wide acceleration state used by the patterns, discovery,
+and detection layers:
+
+* :mod:`repro.perf.pattern_cache` — compiled-regex / NFA LRU caches keyed
+  by the immutable pattern value;
+* :mod:`repro.perf.interning` — token-interning pool for the inverted
+  index build;
+* :mod:`repro.perf.memo` — :class:`MatchMemo`, per-distinct-value match
+  and projection verdicts shared by all rules touching a column;
+* :mod:`repro.perf.table_cache` — per-table derived artifacts (pattern
+  column indexes) with mutation-version invalidation;
+* :mod:`repro.perf.timers` — lightweight stage timers.
+
+Everything here is a pure cache: results are byte-identical with the
+caches cleared, disabled (:func:`caches_disabled`), or hot — guaranteed
+by the equivalence tests in ``tests/perf/``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List
+
+from repro.perf.interning import InternPool, TOKEN_POOL
+from repro.perf.lru import LruCache
+from repro.perf.memo import MatchMemo, MATCH_MEMO
+from repro.perf.pattern_cache import (
+    CONSTRAINED_REGEX_CACHE,
+    NFA_CACHE,
+    REGEX_CACHE,
+    clear_pattern_caches,
+    constrained_regex_for,
+    pattern_cache_stats,
+    shared_nfa_for,
+    shared_regex_for,
+)
+from repro.perf.table_cache import TableArtifactCache
+from repro.perf.timers import StageTimers
+
+#: Shared cache of per-table artifacts (pattern column indexes, …).
+TABLE_ARTIFACTS = TableArtifactCache()
+
+#: Extra ``clear()`` callbacks registered by modules that keep their own
+#: memos (e.g. the functools caches in generalize/tokenizer).
+_EXTRA_CLEARERS: List[Callable[[], None]] = []
+
+
+def register_cache_clearer(clear: Callable[[], None]) -> None:
+    """Register a callback invoked by :func:`clear_caches`."""
+    _EXTRA_CLEARERS.append(clear)
+
+
+def _clear_value_memos() -> None:
+    """Clear the functools-based per-value memos (lazy imports avoid
+    import cycles with the patterns package)."""
+    from repro.patterns.generalize import clear_generalization_memos
+    from repro.patterns.tokenizer import cached_tokenize
+
+    cached_tokenize.cache_clear()
+    clear_generalization_memos()
+
+
+def clear_caches() -> None:
+    """Reset every process-wide cache (used by benchmarks and tests)."""
+    clear_pattern_caches()
+    MATCH_MEMO.clear()
+    TABLE_ARTIFACTS.clear()
+    TOKEN_POOL.clear()
+    _clear_value_memos()
+    for clear in _EXTRA_CLEARERS:
+        clear()
+
+
+def cache_stats() -> dict:
+    """Hit/miss statistics of the shared caches."""
+    stats = pattern_cache_stats()
+    stats["match_memo"] = MATCH_MEMO.stats()
+    stats["table_artifacts"] = TABLE_ARTIFACTS.stats()
+    stats["token_pool"] = {"size": len(TOKEN_POOL)}
+    return stats
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Temporarily turn the shared caches off (the uncached slow path).
+
+    Used by the equivalence tests to prove cached and uncached execution
+    produce identical results.  The functools-based value memos are
+    cleared on entry and exit; the semantic caches (regex/NFA, match
+    memo, table artifacts) are fully bypassed.
+    """
+    switches = [REGEX_CACHE, NFA_CACHE, CONSTRAINED_REGEX_CACHE, MATCH_MEMO, TABLE_ARTIFACTS]
+    previous = [s.enabled for s in switches]
+    _clear_value_memos()
+    for s in switches:
+        s.enabled = False
+    try:
+        yield
+    finally:
+        for s, was in zip(switches, previous):
+            s.enabled = was
+        _clear_value_memos()
+
+
+__all__ = [
+    "InternPool",
+    "LruCache",
+    "MatchMemo",
+    "MATCH_MEMO",
+    "StageTimers",
+    "TableArtifactCache",
+    "TABLE_ARTIFACTS",
+    "TOKEN_POOL",
+    "cache_stats",
+    "caches_disabled",
+    "clear_caches",
+    "constrained_regex_for",
+    "register_cache_clearer",
+    "shared_nfa_for",
+    "shared_regex_for",
+]

@@ -1,0 +1,86 @@
+"""A small LRU cache used by the shared compilation caches.
+
+``functools.lru_cache`` is not usable here because the caches must be
+clearable and disableable as a group (see :func:`repro.perf.clear_caches`
+and :func:`repro.perf.caches_disabled`), report hit statistics for the
+benchmark harness, and key on rich objects passed by reference rather
+than on call signatures.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+_MISS = object()
+
+
+class LruCache:
+    """Least-recently-used cache with hit/miss statistics."""
+
+    __slots__ = ("maxsize", "enabled", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used)."""
+        if not self.enabled:
+            return default
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a value, evicting the least recently used entry if full."""
+        if not self.enabled:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss."""
+        if not self.enabled:
+            return factory()
+        value = self._data.get(key, _MISS)
+        if value is not _MISS:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

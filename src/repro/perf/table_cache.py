@@ -1,0 +1,76 @@
+"""Per-table derived-artifact cache (column indexes, tokenizations).
+
+Artifacts like the detection engine's :class:`PatternColumnIndex` depend
+only on a table's column contents, yet were rebuilt for every detector
+instance.  This cache shares them process-wide, keyed by the table's
+*identity* (tables define value equality but not hashing, so entries are
+tracked by ``id`` and reaped by a weak-reference finalizer) plus the
+table's mutation ``version`` — ``Table.set_cell`` bumps the version, so
+stale artifacts built before an in-place corruption or repair are never
+served.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+class TableArtifactCache:
+    """Caches derived artifacts per (table identity, key, table version).
+
+    Each table's artifact dict is bounded by ``max_entries_per_table``
+    (FIFO eviction) so a long-lived table queried with many distinct
+    ad-hoc patterns cannot grow the cache without bound.
+    """
+
+    __slots__ = ("enabled", "hits", "misses", "max_entries_per_table", "_store")
+
+    def __init__(self, max_entries_per_table: int = 512) -> None:
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.max_entries_per_table = max_entries_per_table
+        # id(table) → (weak ref keeping the entry honest, {key: (version, artifact)})
+        self._store: Dict[int, Tuple[weakref.ref, Dict[Hashable, Tuple[int, Any]]]] = {}
+
+    def get(self, table, key: Hashable, build: Callable[[], Any]) -> Any:
+        """The cached artifact for (table, key), rebuilt when stale."""
+        version = getattr(table, "version", None)
+        if not self.enabled or version is None:
+            return build()
+        token = id(table)
+        slot = self._store.get(token)
+        if slot is None or slot[0]() is not table:
+            artifacts: Dict[Hashable, Tuple[int, Any]] = {}
+            try:
+                # The finalizer reaps the entry when the table is collected,
+                # which also protects against id() reuse.
+                ref = weakref.ref(table, lambda _r, t=token: self._store.pop(t, None))
+            except TypeError:  # non-weakrefable table-like object
+                return build()
+            self._store[token] = (ref, artifacts)
+        else:
+            artifacts = slot[1]
+        entry = artifacts.get(key)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        artifact = build()
+        if key not in artifacts and len(artifacts) >= self.max_entries_per_table:
+            artifacts.pop(next(iter(artifacts)))
+        artifacts[key] = (version, artifact)
+        return artifact
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "tables": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

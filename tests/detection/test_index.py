@@ -23,8 +23,8 @@ class TestLookups:
         assert rows == [2, 3]
 
     def test_matching_constant(self, zip_index):
-        assert zip_index.matching_constant("60601") == [2, 3]
-        assert zip_index.matching_constant("nope") == []
+        assert zip_index.matching_constant("60601") == (2, 3)
+        assert zip_index.matching_constant("nope") == ()
 
     def test_constrained_pattern_lookup(self, zip_index):
         q = ConstrainedPattern.parse("⟨\\D{3}⟩\\D{2}")
@@ -38,7 +38,15 @@ class TestLookups:
     def test_statistics(self, zip_index):
         assert zip_index.n_rows == 6
         assert zip_index.n_distinct == 5
-        assert zip_index.rows_of_value("90001") == [0]
+        assert zip_index.rows_of_value("90001") == (0,)
+
+    def test_rows_of_value_returns_shared_tuple_not_copy(self, zip_index):
+        """The row list is immutable and handed out by reference."""
+        first = zip_index.rows_of_value("60601")
+        second = zip_index.rows_of_value("60601")
+        assert first is second
+        assert isinstance(first, tuple)
+        assert zip_index.matching_constant("60601") is first
 
 
 class TestPrefixAcceleration:
