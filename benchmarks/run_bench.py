@@ -11,11 +11,14 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py              # measure, keep baseline
     PYTHONPATH=src python benchmarks/run_bench.py --record-baseline
     PYTHONPATH=src python benchmarks/run_bench.py --cold       # clear caches per round
+    PYTHONPATH=src python benchmarks/run_bench.py --check      # perf smoke gate
 
 ``--record-baseline`` overwrites the stored baseline with the numbers
 just measured (used once, before the optimization work).  ``--cold``
 clears the shared pattern/match caches before every round, measuring the
-cache-off path.  See docs/PERFORMANCE.md for how to read the output.
+cache-off path.  ``--check`` runs nothing: it validates the recorded
+speedups and exits non-zero if any fell below 1.0, so CI can use it as a
+perf smoke gate.  See docs/PERFORMANCE.md for how to read the output.
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.constrained import constrained_prefix  # noqa: E402
 from repro.datagen import generate_phone_state, generate_zip_city_state  # noqa: E402
-from repro.detection import DetectionStrategy, ErrorDetector  # noqa: E402
+from repro.detection import DetectionStrategy, ErrorDetector, IncrementalDetector  # noqa: E402
 from repro.discovery import PfdDiscoverer  # noqa: E402
 from repro.patterns import parse_pattern  # noqa: E402
 from repro.pfd import PFD  # noqa: E402
@@ -92,14 +95,62 @@ def _bench_index_ablation() -> Tuple[Callable[[], object], int]:
     return run, 5
 
 
-#: bench name → zero-argument setup returning (workload, default rounds).
-BENCHES: Dict[str, Callable[[], Tuple[Callable[[], object], int]]] = {
+def _bench_edit_loop(n_rows: int = 8000, k: int = 40):
+    """The interactive edit loop: k single-cell fixes, violations re-derived
+    after each one.
+
+    Returns *two* workloads: the incremental path (the measured bench)
+    and the full-re-detection path, which is recorded as this bench's
+    baseline — so the persisted speedup is incremental vs full, the
+    paper-relevant comparison.
+    """
+    dataset = generate_zip_city_state(n_rows=n_rows, seed=23)
+    base_table = dataset.table
+    pfds = list(PfdDiscoverer().discover(base_table))
+    assert pfds, "edit-loop setup discovered no PFDs"
+    columns = base_table.column_names()
+    # Deterministic single-cell edits: overwrite a cell with the value
+    # another row holds in the same column (merges/splits real blocks).
+    edits = []
+    for i in range(k):
+        row = (i * 997) % n_rows
+        column = columns[i % len(columns)]
+        donor = (i * 499 + 1) % n_rows
+        edits.append((row, column, base_table.cell(donor, column)))
+
+    def incremental_run() -> object:
+        table = base_table.copy()
+        detector = IncrementalDetector(table, pfds)
+        report = None
+        for row, column, value in edits:
+            detector.set_cell(row, column, value)
+            report = detector.report()
+        return report
+
+    def full_run() -> object:
+        table = base_table.copy()
+        report = None
+        for row, column, value in edits:
+            table.set_cell(row, column, value)
+            report = ErrorDetector(table).detect_all(pfds)
+        return report
+
+    return incremental_run, 5, full_run
+
+
+#: bench name → zero-argument setup returning (workload, default rounds)
+#: or (workload, default rounds, baseline workload) — the third element
+#: is measured and recorded under ``baseline`` whenever the bench has no
+#: stored baseline yet (or ``--record-baseline`` is given), so paired
+#: benches persist their own reference point.
+BENCHES: Dict[str, Callable[[], Tuple]] = {
     "discovery_scalability_2000": lambda: _bench_discovery(2000),
     "discovery_scalability_8000": lambda: _bench_discovery(8000),
     "detection_index_2000": lambda: _bench_detection(DetectionStrategy.INDEX),
     "detection_scan_2000": lambda: _bench_detection(DetectionStrategy.SCAN),
     "detection_bruteforce_2000": lambda: _bench_detection(DetectionStrategy.BRUTEFORCE),
     "index_ablation_phone_2000": lambda: _bench_index_ablation(),
+    "incremental_edit_loop_8000": lambda: _bench_edit_loop(),
 }
 
 
@@ -113,6 +164,29 @@ def measure(run: Callable[[], object], rounds: int, cold: bool) -> float:
         run()
         timings.append(time.perf_counter() - started)
     return min(timings)
+
+
+def check_recorded_speedups(output: Path) -> int:
+    """The ``--check`` perf smoke gate over the persisted baseline file."""
+    if not output.exists():
+        print(f"--check: {output} does not exist; run the benches first")
+        return 1
+    payload = json.loads(output.read_text())
+    speedups: Dict[str, float] = payload.get("speedup", {})
+    if not speedups:
+        print(f"--check: {output} records no speedups; run the benches first")
+        return 1
+    regressed = []
+    for name, speedup in sorted(speedups.items()):
+        verdict = "ok" if speedup >= 1.0 else "REGRESSED"
+        print(f"{name:32s} {speedup:8.3f}x  {verdict}")
+        if speedup < 1.0:
+            regressed.append(name)
+    if regressed:
+        print(f"\n--check FAILED: {len(regressed)} bench(es) below 1.0x: {regressed}")
+        return 1
+    print(f"\n--check ok: all {len(speedups)} recorded speedups >= 1.0x")
+    return 0
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -131,7 +205,18 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--only", nargs="*", default=None, help="run only the named benches"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "perf smoke gate: validate the speedups recorded in the output "
+            "file and exit non-zero if any has regressed below 1.0 (runs no benches)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        return check_recorded_speedups(args.output)
 
     names = args.only or list(BENCHES)
     unknown = [n for n in names if n not in BENCHES]
@@ -145,11 +230,16 @@ def main(argv: List[str] | None = None) -> int:
     current: Dict[str, float] = dict(previous.get("current", {}))
 
     for name in names:
-        run, rounds = BENCHES[name]()
+        setup = BENCHES[name]()
+        run, rounds = setup[0], setup[1]
+        baseline_run = setup[2] if len(setup) > 2 else None
+        if baseline_run is not None and (args.record_baseline or name not in baseline):
+            _clear_shared_caches()
+            baseline[name] = round(measure(baseline_run, rounds, cold=args.cold), 6)
         _clear_shared_caches()
         seconds = measure(run, rounds, cold=args.cold)
         current[name] = round(seconds, 6)
-        if args.record_baseline:
+        if args.record_baseline and baseline_run is None:
             baseline[name] = round(seconds, 6)
         base = baseline.get(name)
         speedup = f"  ({base / seconds:.2f}x vs baseline)" if base else ""
@@ -162,7 +252,9 @@ def main(argv: List[str] | None = None) -> int:
             "mode": "cold" if args.cold else "warm",
             "note": (
                 "seconds are best-of-N wall clock; 'baseline' is the pre-PR "
-                "tree, 'current' the tree at measurement time"
+                "tree, 'current' the tree at measurement time -- except for "
+                "paired benches (incremental_edit_loop_*), whose baseline is "
+                "their same-tree reference workload (full re-detection)"
             ),
         },
         "baseline": baseline,

@@ -6,6 +6,13 @@ profiles the data and extracts PFDs → the user inspects tableaux and
 confirms the dependencies that are valid → the confirmed rules are run
 over the data and violations are reported.  :class:`AnmatSession`
 exposes each of those steps as a method and enforces their order.
+
+After detection the session supports an interactive **edit loop**:
+:meth:`edit_cell` / :meth:`apply_repair` mutate the table and update the
+violation report *in place* through an
+:class:`~repro.detection.incremental.IncrementalDetector` instead of
+re-scanning the whole table — the session moves to ``EDITING`` and a
+:meth:`run_detection` (full re-check) returns it to ``DETECTED``.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from repro.anmat.project import Project
 from repro.dataset.profiling import TableProfile, profile_table
 from repro.dataset.table import Table
 from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.incremental import IncrementalDetector
 from repro.detection.repair import RepairSuggestion, suggest_repairs
 from repro.detection.violation import ViolationReport
 from repro.discovery.config import DiscoveryConfig
@@ -34,6 +42,7 @@ class SessionState(enum.Enum):
     PROFILED = "profiled"
     DISCOVERED = "discovered"
     DETECTED = "detected"
+    EDITING = "editing"
 
 
 @dataclass
@@ -49,12 +58,23 @@ class AnmatSession:
     discovery: Optional[DiscoveryResult] = None
     confirmed_names: List[str] = field(default_factory=list)
     violations: Optional[ViolationReport] = None
+    #: the rules and strategy of the last run_detection, driving the edit loop
+    _detection_rules: List[PFD] = field(default_factory=list, repr=False)
+    _detection_strategy: str = field(default=DetectionStrategy.AUTO, repr=False)
+    _incremental: Optional[IncrementalDetector] = field(default=None, repr=False)
 
     # -- step 1: load ------------------------------------------------------------
 
     def load_table(self, table: Table) -> "AnmatSession":
-        """Attach ("upload") the dataset to the session."""
+        """Attach ("upload") the dataset to the session.
+
+        Any edit loop over a previously loaded table is dropped — its
+        detector would otherwise keep mutating the *old* table.
+        """
         self.table = table
+        self.violations = None
+        self._detection_rules = []
+        self._incremental = None
         self.state = SessionState.LOADED
         if self.project is not None:
             self.project.add_dataset(self.dataset_name, table)
@@ -95,8 +115,12 @@ class AnmatSession:
         self.discovery = discoverer.discover_with_report(
             self.table, relation=self.dataset_name
         )
-        # By default every discovered dependency is pending confirmation.
+        # By default every discovered dependency is pending confirmation,
+        # and any report/edit loop over the previous rule set is dropped.
         self.confirmed_names = []
+        self.violations = None
+        self._detection_rules = []
+        self._incremental = None
         self.state = SessionState.DISCOVERED
         if self.project is not None:
             self.project.save_pfds(self.dataset_name, self.discovery.pfds)
@@ -110,20 +134,28 @@ class AnmatSession:
     # -- step 4: confirm ---------------------------------------------------------------
 
     def confirm(self, names: Iterable[str]) -> List[str]:
-        """Mark dependencies (by PFD name) as confirmed by the user."""
+        """Mark dependencies (by PFD name) as confirmed by the user.
+
+        Atomic: the full name list is validated before any state is
+        touched, so an unknown name leaves ``confirmed_names`` (and the
+        saved project) exactly as they were.
+        """
+        names = list(names)
         available = {pfd.name for pfd in self.discovered_pfds()}
-        confirmed = []
+        unknown = [name for name in names if name not in available]
+        if unknown:
+            raise ProjectError(
+                f"cannot confirm unknown PFD{'s' if len(unknown) > 1 else ''} "
+                f"{', '.join(repr(n) for n in unknown)}"
+            )
         for name in names:
-            if name not in available:
-                raise ProjectError(f"cannot confirm unknown PFD {name!r}")
             if name not in self.confirmed_names:
                 self.confirmed_names.append(name)
-            confirmed.append(name)
         if self.project is not None and self.discovery is not None:
             self.project.save_pfds(
                 self.dataset_name, self.discovery.pfds, self.confirmed_names
             )
-        return confirmed
+        return names
 
     def confirm_all(self) -> List[str]:
         """Confirm every discovered dependency."""
@@ -152,18 +184,11 @@ class AnmatSession:
             )
         detector = ErrorDetector(self.table)
         self.violations = detector.detect_all(rules, strategy=strategy)
+        self._detection_rules = rules
+        self._detection_strategy = strategy
+        self._incremental = None  # a fresh full run supersedes any edit loop
         self.state = SessionState.DETECTED
-        if self.project is not None:
-            self.project.save_results(
-                self.dataset_name,
-                {
-                    "dataset": self.dataset_name,
-                    "n_rows": self.table.n_rows,
-                    "n_violations": len(self.violations),
-                    "suspect_rows": self.violations.suspect_rows(),
-                    "strategy": strategy,
-                },
-            )
+        self._save_results()
         return self.violations
 
     def repair_suggestions(self) -> List[RepairSuggestion]:
@@ -171,6 +196,45 @@ class AnmatSession:
         if self.violations is None:
             return []
         return suggest_repairs(self.violations)
+
+    # -- step 6: edit loop ------------------------------------------------------------
+
+    def edit_cell(self, row: int, attribute: str, value: object) -> ViolationReport:
+        """Fix one cell and update the violation report *in place*.
+
+        The first edit after a detection run attaches an
+        :class:`IncrementalDetector` over the confirmed rules (reusing
+        the cached per-table artifacts of that run); subsequent edits
+        cost one delta application each instead of a full re-scan.  The
+        session moves to ``EDITING``; :meth:`run_detection` performs a
+        full re-check and returns it to ``DETECTED``.
+
+        Project results are *not* rewritten per edit (that disk write
+        would dwarf the incremental update); they are persisted by the
+        closing :meth:`run_detection` re-check.
+        """
+        self._require_table()
+        if self.violations is None or not self._detection_rules:
+            raise ProjectError(
+                "no detection run to maintain; call run_detection() before editing"
+            )
+        if self._detection_strategy == DetectionStrategy.BRUTEFORCE:
+            raise ProjectError(
+                "the edit loop maintains blocking-strategy reports only; "
+                "re-run detection with 'auto', 'scan', or 'index' first"
+            )
+        if self._incremental is None:
+            self._incremental = IncrementalDetector(
+                self.table, self._detection_rules, strategy=self._detection_strategy
+            )
+        self._incremental.set_cell(row, attribute, value)
+        self.violations = self._incremental.report()
+        self.state = SessionState.EDITING
+        return self.violations
+
+    def apply_repair(self, suggestion: RepairSuggestion) -> ViolationReport:
+        """Apply one repair suggestion through the edit loop."""
+        return self.edit_cell(suggestion.row, suggestion.attribute, suggestion.suggested_value)
 
     # -- summary ----------------------------------------------------------------------
 
@@ -194,3 +258,17 @@ class AnmatSession:
             raise ProjectError(
                 f"session {self.dataset_name!r} has no table; call load_table() first"
             )
+
+    def _save_results(self) -> None:
+        if self.project is None or self.violations is None:
+            return
+        self.project.save_results(
+            self.dataset_name,
+            {
+                "dataset": self.dataset_name,
+                "n_rows": self.table.n_rows,
+                "n_violations": len(self.violations),
+                "suspect_rows": self.violations.suspect_rows(),
+                "strategy": self.violations.strategy,
+            },
+        )

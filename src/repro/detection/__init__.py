@@ -12,6 +12,7 @@ from repro.detection.violation import Violation, ViolationKind, ViolationReport
 from repro.detection.index import PatternColumnIndex
 from repro.detection.blocking import block_by_key, block_by_projection
 from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.incremental import IncrementalDetector
 from repro.detection.repair import RepairSuggestion, suggest_repairs
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "block_by_projection",
     "DetectionStrategy",
     "ErrorDetector",
+    "IncrementalDetector",
     "RepairSuggestion",
     "suggest_repairs",
 ]

@@ -21,7 +21,7 @@ import time
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
-from repro.dataset.table import Table
+from repro.dataset.table import CellEdit, RowAppend, RowDelete, Table
 from repro.detection.blocking import (
     block_by_projection,
     majority_value,
@@ -62,6 +62,9 @@ class ErrorDetector:
     def __init__(self, table: Table, memo: Optional[MatchMemo] = None):
         self.table = table
         self.memo = MATCH_MEMO if memo is None else memo
+        # per-attribute index patchers, built once per detector — the
+        # cache-hit path must not pay an allocation per lookup
+        self._index_patchers: dict = {}
 
     # -- public API ----------------------------------------------------------------
 
@@ -70,13 +73,21 @@ class ErrorDetector:
 
         Always resolved through the shared artifact cache — it checks
         ``table.version``, so an index built before a ``set_cell`` is
-        rebuilt instead of served stale.  (No instance-level cache on
-        purpose: it would be version-blind.)
+        never served stale.  (No instance-level cache on purpose: it
+        would be version-blind.)  When the table's delta log covers the
+        gap, the stale index is *patched* forward (one posting move per
+        edit) instead of rebuilt — see :func:`column_index_patcher`.
         """
+        patcher = self._index_patchers.get(attribute)
+        if patcher is None:
+            patcher = self._index_patchers[attribute] = column_index_patcher(
+                self.table, attribute
+            )
         return TABLE_ARTIFACTS.get(
             self.table,
             ("pattern_column_index", attribute),
             lambda: PatternColumnIndex(self.table.column_ref(attribute)),
+            patch=patcher,
         )
 
     def detect(self, pfd: PFD, strategy: str = DetectionStrategy.AUTO) -> ViolationReport:
@@ -327,6 +338,29 @@ class ErrorDetector:
                     expected_value=rhs_values[left],
                 )
             )
+
+
+def column_index_patcher(table: Table, attribute: str):
+    """A :class:`TableArtifactCache` patcher applying table deltas to a
+    cached :class:`PatternColumnIndex` — one posting move per edit, no
+    regex re-evaluation (verdicts live in the MatchMemo, keyed by value).
+    """
+
+    def patch(index: PatternColumnIndex, deltas) -> Optional[PatternColumnIndex]:
+        column = table.schema.index_of(attribute)
+        for delta in deltas:
+            if isinstance(delta, CellEdit):
+                if delta.column == attribute:
+                    index.apply_edit(delta.row, delta.old, delta.new)
+            elif isinstance(delta, RowAppend):
+                index.apply_append(delta.row, delta.values[column])
+            elif isinstance(delta, RowDelete):
+                index.apply_delete(delta.row, delta.values[column])
+            else:  # unknown delta kind: decline, forcing a rebuild
+                return None
+        return index
+
+    return patch
 
 
 def _as_constrained(lhs_cell) -> ConstrainedPattern:

@@ -104,3 +104,59 @@ class PatternColumnIndex:
     def matching_constant(self, constant: str) -> Tuple[int, ...]:
         """Rows equal to a constant (degenerate pattern)."""
         return self.rows_of_value(constant)
+
+    # -- partial updates ----------------------------------------------------------
+    #
+    # The incremental-maintenance path (repro.detection.incremental and the
+    # delta-aware artifact cache) patches a live index under table deltas
+    # instead of rebuilding it: an edit moves one row between two postings,
+    # an append adds one posting entry, a delete removes one and renumbers
+    # the rows behind it.  Pattern verdicts are *not* stored here (they
+    # live in the MatchMemo keyed by value), so no regex ever reruns.
+
+    def _add_row(self, value: str, row: int) -> None:
+        rows = self._rows_by_value.get(value)
+        if rows is None:
+            self._rows_by_value[value] = (row,)
+            bisect.insort(self._sorted_values, value)
+            return
+        at = bisect.bisect_left(rows, row)
+        self._rows_by_value[value] = rows[:at] + (row,) + rows[at:]
+
+    def _remove_row(self, value: str, row: int) -> None:
+        rows = self._rows_by_value.get(value)
+        if rows is None or row not in rows:
+            raise ValueError(
+                f"index out of sync: row {row} not posted under value {value!r}"
+            )
+        if len(rows) == 1:
+            del self._rows_by_value[value]
+            at = bisect.bisect_left(self._sorted_values, value)
+            del self._sorted_values[at]
+            return
+        self._rows_by_value[value] = tuple(r for r in rows if r != row)
+
+    def apply_edit(self, row: int, old: str, new: str) -> None:
+        """Move one row between value postings after a cell edit."""
+        if old == new:
+            return
+        self._remove_row(old, row)
+        self._add_row(new, row)
+
+    def apply_append(self, row: int, value: str) -> None:
+        """Post a freshly appended row (``row`` must be the new last row)."""
+        if row != self._n_rows:
+            raise ValueError(
+                f"appended row {row} is not the next row of a {self._n_rows}-row index"
+            )
+        self._add_row(value, row)
+        self._n_rows += 1
+
+    def apply_delete(self, row: int, old: str) -> None:
+        """Unpost a deleted row and renumber the rows behind it."""
+        self._remove_row(old, row)
+        self._n_rows -= 1
+        self._rows_by_value = {
+            value: tuple(r if r < row else r - 1 for r in rows)
+            for value, rows in self._rows_by_value.items()
+        }

@@ -52,14 +52,17 @@ def suggest_repairs(report: ViolationReport) -> List[RepairSuggestion]:
         votes: Dict[str, int] = {}
         for violation in violations:
             votes[violation.expected_value] = votes.get(violation.expected_value, 0) + 1
-        winner = max(votes, key=lambda value: (votes[value], value))
+        # dicts iterate in insertion (= first-seen) order, so on a vote
+        # tie max() keeps the earlier-seen value.
+        winner = max(votes, key=lambda value: votes[value])
+        backer = next(v for v in violations if v.expected_value == winner)
         suggestions.append(
             RepairSuggestion(
                 row=row,
                 attribute=attribute,
                 current_value=violations[0].observed_value,
                 suggested_value=winner,
-                pfd_name=violations[0].pfd_name,
+                pfd_name=backer.pfd_name,
                 confidence=votes[winner] / len(violations),
             )
         )

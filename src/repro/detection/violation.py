@@ -114,6 +114,25 @@ class ViolationReport:
             return 0.0
         return len(self.suspect_rows()) / self.n_rows
 
+    def identity_key(self, violation: Violation) -> Tuple:
+        """The dedup identity of a violation (see :meth:`merged_with`)."""
+        return (
+            violation.pfd_name,
+            violation.rule_index,
+            violation.rows,
+            violation.suspect_cell,
+        )
+
+    def canonical_violations(self) -> List[Violation]:
+        """The violations sorted by identity key.
+
+        Detection emits violations in traversal order, which differs
+        between a from-scratch run and an incrementally maintained
+        report; sorting by the (unique) identity key gives both a single
+        canonical form, so equivalence is plain ``==`` on the lists.
+        """
+        return sorted(self.violations, key=self.identity_key)
+
     def merged_with(self, other: "ViolationReport") -> "ViolationReport":
         """Union of two reports (deduplicated)."""
         merged = ViolationReport(
@@ -124,7 +143,7 @@ class ViolationReport:
         )
         seen: Set[Tuple] = set()
         for violation in list(self.violations) + list(other.violations):
-            key = (violation.pfd_name, violation.rule_index, violation.rows, violation.suspect_cell)
+            key = self.identity_key(violation)
             if key in seen:
                 continue
             seen.add(key)

@@ -13,7 +13,13 @@ served.
 from __future__ import annotations
 
 import weakref
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+#: A patcher takes (stale artifact, the table deltas applied since it was
+#: built) and either patches the artifact forward — returning the patched
+#: artifact, usually the same object mutated in place — or returns None to
+#: decline, in which case the artifact is rebuilt from scratch.
+ArtifactPatcher = Callable[[Any, Sequence[Any]], Optional[Any]]
 
 
 class TableArtifactCache:
@@ -22,20 +28,33 @@ class TableArtifactCache:
     Each table's artifact dict is bounded by ``max_entries_per_table``
     (FIFO eviction) so a long-lived table queried with many distinct
     ad-hoc patterns cannot grow the cache without bound.
+
+    A stale entry is normally discarded and rebuilt; callers whose
+    artifact supports partial updates can pass a ``patch`` callback and
+    the cache will hand it the table's delta log (``Table.deltas_since``)
+    instead, so a single-cell edit costs one posting move rather than a
+    full rebuild.
     """
 
-    __slots__ = ("enabled", "hits", "misses", "max_entries_per_table", "_store")
+    __slots__ = ("enabled", "hits", "misses", "patched", "max_entries_per_table", "_store")
 
     def __init__(self, max_entries_per_table: int = 512) -> None:
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.patched = 0
         self.max_entries_per_table = max_entries_per_table
         # id(table) → (weak ref keeping the entry honest, {key: (version, artifact)})
         self._store: Dict[int, Tuple[weakref.ref, Dict[Hashable, Tuple[int, Any]]]] = {}
 
-    def get(self, table, key: Hashable, build: Callable[[], Any]) -> Any:
-        """The cached artifact for (table, key), rebuilt when stale."""
+    def get(
+        self,
+        table,
+        key: Hashable,
+        build: Callable[[], Any],
+        patch: Optional[ArtifactPatcher] = None,
+    ) -> Any:
+        """The cached artifact for (table, key), patched or rebuilt when stale."""
         version = getattr(table, "version", None)
         if not self.enabled or version is None:
             return build()
@@ -56,21 +75,45 @@ class TableArtifactCache:
         if entry is not None and entry[0] == version:
             self.hits += 1
             return entry[1]
-        self.misses += 1
-        artifact = build()
+        artifact = None
+        if entry is not None and patch is not None:
+            artifact = self._try_patch(table, entry, patch)
+        if artifact is not None:
+            self.patched += 1
+        else:
+            self.misses += 1
+            artifact = build()
         if key not in artifacts and len(artifacts) >= self.max_entries_per_table:
             artifacts.pop(next(iter(artifacts)))
         artifacts[key] = (version, artifact)
         return artifact
 
+    @staticmethod
+    def _try_patch(table, entry: Tuple[int, Any], patch: ArtifactPatcher) -> Optional[Any]:
+        deltas_since = getattr(table, "deltas_since", None)
+        if deltas_since is None:
+            return None
+        deltas = deltas_since(entry[0])
+        if deltas is None:  # history no longer replayable
+            return None
+        try:
+            return patch(entry[1], deltas)
+        except Exception:
+            # A patcher that blows up mid-replay (out-of-sync artifact)
+            # must not poison the entry: fall back to a fresh build, which
+            # replaces the half-patched artifact and self-heals.
+            return None
+
     def clear(self) -> None:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.patched = 0
 
     def stats(self) -> dict:
         return {
             "tables": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
+            "patched": self.patched,
         }

@@ -33,6 +33,21 @@ class TestWorkflowOrder:
         with pytest.raises(ProjectError):
             session.confirm(["not-a-pfd"])
 
+    def test_confirm_is_atomic(self, small_zip_city_state):
+        # Regression: a valid name followed by an unknown one used to be
+        # appended to confirmed_names before the error fired, leaving the
+        # session half-confirmed.
+        session = AnmatSession(dataset_name="demo")
+        session.load_table(small_zip_city_state.table)
+        session.run_discovery()
+        valid = session.discovered_pfds()[0].name
+        with pytest.raises(ProjectError):
+            session.confirm([valid, "not-a-pfd"])
+        assert session.confirmed_names == []
+        # and a later all-valid confirm still works
+        assert session.confirm([valid]) == [valid]
+        assert session.confirmed_names == [valid]
+
 
 class TestFullWorkflow:
     @pytest.fixture
@@ -93,6 +108,103 @@ class TestFullWorkflow:
         assert summary["dataset"] == "zips"
         assert summary["n_pfds"] >= summary["n_confirmed"] > 0
         assert summary["n_violations"] == len(session.violations)
+
+
+class TestEditLoop:
+    @pytest.fixture
+    def detected_session(self, small_zip_city_state):
+        session = AnmatSession(dataset_name="zips")
+        session.load_table(small_zip_city_state.table.copy())
+        session.set_parameters(min_coverage=0.6, allowed_violation_ratio=0.05)
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        return session
+
+    def test_edit_requires_a_detection_run(self, small_zip_city_state):
+        session = AnmatSession(dataset_name="demo")
+        session.load_table(small_zip_city_state.table.copy())
+        with pytest.raises(ProjectError):
+            session.edit_cell(0, "city", "X")
+
+    def test_apply_repair_updates_violations_in_place(self, detected_session):
+        session = detected_session
+        before = len(session.violations)
+        suggestion = session.repair_suggestions()[0]
+        report = session.apply_repair(suggestion)
+        assert session.state is SessionState.EDITING
+        assert report is session.violations
+        assert len(report) < before
+        assert session.table.cell(suggestion.row, suggestion.attribute) == (
+            suggestion.suggested_value
+        )
+
+    def test_edit_loop_matches_full_redetection(self, detected_session):
+        from repro.detection import ErrorDetector
+
+        session = detected_session
+        for suggestion in session.repair_suggestions()[:5]:
+            session.apply_repair(suggestion)
+        full = ErrorDetector(session.table.copy()).detect_all(session.confirmed_pfds())
+        assert (
+            session.violations.canonical_violations() == full.canonical_violations()
+        )
+
+    def test_repairing_everything_empties_the_report(self, detected_session):
+        session = detected_session
+        # apply_repairs round-by-round (repairs can shift majorities)
+        for _ in range(10):
+            suggestions = session.repair_suggestions()
+            if not suggestions:
+                break
+            for suggestion in suggestions:
+                session.apply_repair(suggestion)
+        assert session.violations.is_empty()
+
+    def test_rerunning_detection_returns_to_detected(self, detected_session):
+        session = detected_session
+        session.edit_cell(0, "city", "Oddville")
+        assert session.state is SessionState.EDITING
+        in_place = session.violations
+        rerun = session.run_detection()
+        assert session.state is SessionState.DETECTED
+        assert rerun.canonical_violations() == in_place.canonical_violations()
+
+    def test_closing_recheck_persists_results(self, tmp_path, small_phone_state):
+        from repro.anmat.project import ProjectStore
+
+        project = ProjectStore(tmp_path).create_project("phones")
+        session = AnmatSession(dataset_name="d1", project=project)
+        session.load_table(small_phone_state.table.copy())
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        before_editing = project.load_results("d1")["n_violations"]
+        session.apply_repair(session.repair_suggestions()[0])
+        # edits do not rewrite project results (one disk write per cell
+        # fix would dwarf the incremental update) ...
+        assert project.load_results("d1")["n_violations"] == before_editing
+        # ... the closing full re-check does
+        session.run_detection()
+        assert project.load_results("d1")["n_violations"] == len(session.violations)
+
+    def test_loading_a_new_table_drops_the_edit_loop(self, detected_session):
+        session = detected_session
+        session.edit_cell(0, "city", "Oddville")
+        old_table = session.table
+        new_table = old_table.copy()
+        session.load_table(new_table)
+        assert session.violations is None
+        with pytest.raises(ProjectError):
+            session.edit_cell(1, "city", "Elsewhere")
+        # neither table was touched by the rejected edit
+        assert old_table.cell(1, "city") == new_table.cell(1, "city")
+
+    def test_bruteforce_detection_refuses_the_edit_loop(self, detected_session):
+        session = detected_session
+        session.run_detection(strategy="bruteforce")
+        with pytest.raises(ProjectError):
+            session.edit_cell(0, "city", "X")
 
 
 class TestProjectIntegration:

@@ -47,6 +47,59 @@ class TestSuggestRepairs:
         )
         assert suggest_repairs(report) == []
 
+    def test_two_way_tie_first_seen_wins(self):
+        # Regression: the winner used to be picked lexicographically
+        # ("Boston" over "Austin") instead of honoring first-seen order,
+        # and the suggestion was attributed to violations[0] even when
+        # that violation voted for a losing value.
+        report = ViolationReport(n_rows=5)
+        for pfd_name, expected in (("psi-austin", "Austin"), ("psi-boston", "Boston")):
+            report.add(
+                Violation(
+                    pfd_name=pfd_name,
+                    lhs_attribute="zip",
+                    rhs_attribute="city",
+                    kind=ViolationKind.CONSTANT,
+                    rule_index=0,
+                    rule_text="r",
+                    rows=(0,),
+                    cells=((0, "zip"), (0, "city")),
+                    suspect_cell=(0, "city"),
+                    observed_value="??",
+                    expected_value=expected,
+                )
+            )
+        suggestions = suggest_repairs(report)
+        assert len(suggestions) == 1
+        assert suggestions[0].suggested_value == "Austin"
+        assert suggestions[0].pfd_name == "psi-austin"
+        assert suggestions[0].confidence == pytest.approx(0.5)
+
+    def test_winner_attribution_names_an_actual_voter(self):
+        # One early vote for "SF", two later votes for "LA": the winning
+        # suggestion must carry a pfd that voted for "LA".
+        report = ViolationReport(n_rows=5)
+        for pfd_name, expected in (("psi-sf", "SF"), ("psi-la", "LA"), ("psi-la2", "LA")):
+            report.add(
+                Violation(
+                    pfd_name=pfd_name,
+                    lhs_attribute="zip",
+                    rhs_attribute="city",
+                    kind=ViolationKind.VARIABLE,
+                    rule_index=0,
+                    rule_text="r",
+                    rows=(0, 1),
+                    cells=((0, "city"), (1, "city")),
+                    suspect_cell=(1, "city"),
+                    observed_value="??",
+                    expected_value=expected,
+                )
+            )
+        suggestions = suggest_repairs(report)
+        assert len(suggestions) == 1
+        assert suggestions[0].suggested_value == "LA"
+        assert suggestions[0].pfd_name == "psi-la"
+
     def test_majority_vote_across_conflicting_violations(self):
         report = ViolationReport(n_rows=5)
         for expected in ("LA", "LA", "SF"):

@@ -1,0 +1,192 @@
+"""Tests for delta-aware patching of per-table cached artifacts."""
+
+import pytest
+
+from repro.dataset.table import CellEdit, Table
+from repro.detection.detector import ErrorDetector
+from repro.detection.index import PatternColumnIndex
+from repro.patterns import parse_pattern
+from repro.perf import TABLE_ARTIFACTS
+from repro.perf.table_cache import TableArtifactCache
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table.from_rows(
+        ["zip", "city"],
+        [["90001", "LA"], ["90002", "LA"], ["10001", "NY"]],
+    )
+
+
+class TestCachePatching:
+    def test_narrow_delta_patches_instead_of_rebuilding(self, table):
+        cache = TableArtifactCache()
+        builds = []
+        patches = []
+
+        def build():
+            builds.append(table.version)
+            return {"built_at": table.version}
+
+        def patch(artifact, deltas):
+            patches.append(list(deltas))
+            return artifact
+
+        first = cache.get(table, "k", build, patch=patch)
+        table.set_cell(0, "city", "SF")
+        second = cache.get(table, "k", build, patch=patch)
+        assert second is first  # patched in place, not rebuilt
+        assert builds == [0]
+        assert len(patches) == 1 and isinstance(patches[0][0], CellEdit)
+        assert cache.stats()["patched"] == 1
+        # and the patched entry is fresh: the next get is a plain hit
+        assert cache.get(table, "k", build, patch=patch) is first
+        assert cache.stats()["hits"] == 1
+
+    def test_declining_patcher_forces_rebuild(self, table):
+        cache = TableArtifactCache()
+        builds = []
+
+        def build():
+            builds.append(table.version)
+            return object()
+
+        cache.get(table, "k", build, patch=lambda a, d: None)
+        table.set_cell(0, "city", "SF")
+        cache.get(table, "k", build, patch=lambda a, d: None)
+        assert builds == [0, 1]
+        assert cache.stats()["patched"] == 0
+        assert cache.stats()["misses"] == 2
+
+    def test_exhausted_history_forces_rebuild(self, table):
+        from repro.dataset.table import MAX_DELTA_LOG
+
+        cache = TableArtifactCache()
+        builds = []
+
+        def build():
+            builds.append(table.version)
+            return object()
+
+        def patch(artifact, deltas):  # pragma: no cover - must not be called
+            raise AssertionError("patch must not run on exhausted history")
+
+        cache.get(table, "k", build, patch=patch)
+        for i in range(MAX_DELTA_LOG + 1):
+            table.set_cell(0, "city", f"v{i % 3}")
+        assert table.deltas_since(0) is None
+        cache.get(table, "k", build, patch=patch)
+        assert len(builds) == 2
+
+    def test_raising_patcher_falls_back_to_rebuild(self, table):
+        # a patcher blowing up mid-replay must not poison the entry —
+        # the cache rebuilds and subsequent gets are healthy again
+        cache = TableArtifactCache()
+        builds = []
+
+        def build():
+            builds.append(table.version)
+            return object()
+
+        def exploding_patch(artifact, deltas):
+            raise ValueError("index out of sync")
+
+        cache.get(table, "k", build, patch=exploding_patch)
+        table.set_cell(0, "city", "SF")
+        rebuilt = cache.get(table, "k", build, patch=exploding_patch)
+        assert builds == [0, 1]
+        assert cache.get(table, "k", build, patch=exploding_patch) is rebuilt
+        assert cache.stats()["hits"] == 1
+
+    def test_tables_without_delta_log_still_rebuild(self):
+        class VersionOnly:
+            version = 0
+
+        cache = TableArtifactCache()
+        probe = VersionOnly()
+        builds = []
+
+        def build():
+            builds.append(probe.version)
+            return object()
+
+        cache.get(probe, "k", build, patch=lambda a, d: a)
+        probe.version = 1
+        cache.get(probe, "k", build, patch=lambda a, d: a)
+        assert builds == [0, 1]
+
+
+class TestColumnIndexPatching:
+    """End-to-end: the detector's cached column index is patched under
+    edits/appends/deletes and stays identical to a fresh build."""
+
+    def assert_index_matches_fresh(self, table, attribute):
+        patched = ErrorDetector(table).column_index(attribute)
+        fresh = PatternColumnIndex(table.column_ref(attribute))
+        values = set(table.column_ref(attribute))
+        assert patched.n_rows == fresh.n_rows == table.n_rows
+        assert patched.n_distinct == fresh.n_distinct
+        for value in values:
+            assert patched.rows_of_value(value) == fresh.rows_of_value(value)
+
+    def test_index_is_patched_across_all_mutation_kinds(self, table):
+        TABLE_ARTIFACTS.clear()
+        detector = ErrorDetector(table)
+        detector.column_index("zip")
+        patched_before = TABLE_ARTIFACTS.patched
+
+        table.set_cell(0, "zip", "10002")
+        self.assert_index_matches_fresh(table, "zip")
+        table.append_row(["90003", "LA"])
+        self.assert_index_matches_fresh(table, "zip")
+        table.delete_row(1)
+        self.assert_index_matches_fresh(table, "zip")
+        assert TABLE_ARTIFACTS.patched >= patched_before + 3
+
+    def test_edits_to_other_columns_leave_the_index_untouched(self, table):
+        TABLE_ARTIFACTS.clear()
+        index = ErrorDetector(table).column_index("zip")
+        table.set_cell(0, "city", "SF")
+        assert ErrorDetector(table).column_index("zip") is index
+        self.assert_index_matches_fresh(table, "zip")
+
+    def test_patched_index_answers_pattern_lookups(self, table):
+        TABLE_ARTIFACTS.clear()
+        detector = ErrorDetector(table)
+        pattern = parse_pattern("900\\D{2}")
+        assert detector.column_index("zip").matching_rows(pattern) == [0, 1]
+        table.set_cell(2, "zip", "90009")
+        assert detector.column_index("zip").matching_rows(pattern) == [0, 1, 2]
+        table.delete_row(0)
+        assert detector.column_index("zip").matching_rows(pattern) == [0, 1]
+
+
+class TestIndexPartialUpdates:
+    def test_apply_edit_moves_postings(self):
+        index = PatternColumnIndex(["a", "b", "a"])
+        index.apply_edit(2, "a", "b")
+        assert index.rows_of_value("a") == (0,)
+        assert index.rows_of_value("b") == (1, 2)
+        index.apply_edit(0, "a", "c")
+        assert index.rows_of_value("a") == ()
+        assert index.rows_of_value("c") == (0,)
+
+    def test_apply_append_requires_next_row(self):
+        index = PatternColumnIndex(["a"])
+        index.apply_append(1, "b")
+        assert index.n_rows == 2
+        with pytest.raises(ValueError):
+            index.apply_append(5, "c")
+
+    def test_apply_delete_renumbers(self):
+        index = PatternColumnIndex(["a", "b", "a", "c"])
+        index.apply_delete(1, "b")
+        assert index.n_rows == 3
+        assert index.rows_of_value("a") == (0, 1)
+        assert index.rows_of_value("c") == (2,)
+        assert index.rows_of_value("b") == ()
+
+    def test_out_of_sync_update_raises(self):
+        index = PatternColumnIndex(["a"])
+        with pytest.raises(ValueError):
+            index.apply_edit(0, "wrong-old-value", "b")
