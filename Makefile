@@ -1,0 +1,24 @@
+# Development entry points.  `make check` is the pre-merge gate: the
+# tier-1 test suite plus the persisted-benchmark perf smoke gate.
+
+PYTHON ?= python
+
+.PHONY: check test perf-gate bench bench-suite
+
+check: test perf-gate
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Validates the speedups recorded in BENCH_hotpath.json (runs no
+# benches); fails loudly when any has regressed below 1.0x.  Re-measure
+# with `make bench` after perf-relevant changes.
+perf-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --check
+
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py
+
+# The full paper-experiment benchmark suite (pytest-benchmark, slow).
+bench-suite:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ -q

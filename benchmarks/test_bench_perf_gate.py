@@ -1,0 +1,20 @@
+"""Perf smoke gate: the recorded hot-path speedups must not regress.
+
+Runs the same validation as ``python benchmarks/run_bench.py --check``
+under the ``bench`` marker, so a plain ``pytest benchmarks/`` (or
+``pytest -m bench benchmarks/``) fails loudly when any speedup recorded
+in ``BENCH_hotpath.json`` has dropped below 1.0×.  Re-measure with
+``PYTHONPATH=src python benchmarks/run_bench.py`` after perf-relevant
+changes; ``make check`` wires the same gate into the default local
+check.
+"""
+
+from run_bench import DEFAULT_OUTPUT, check_recorded_speedups
+
+
+def test_recorded_speedups_have_not_regressed():
+    assert DEFAULT_OUTPUT.exists(), (
+        f"{DEFAULT_OUTPUT} is missing; run `PYTHONPATH=src python "
+        "benchmarks/run_bench.py` to record the hot-path numbers"
+    )
+    assert check_recorded_speedups(DEFAULT_OUTPUT) == 0

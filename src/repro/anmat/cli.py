@@ -25,6 +25,12 @@ from repro.datagen.registry import build_dataset, dataset_names
 from repro.discovery.config import DiscoveryConfig
 from repro.metrics.evaluation import evaluate_report
 
+#: ``detect`` exit codes, distinct so shell pipelines can gate on clean
+#: data (argparse itself exits 2 on usage errors, and unexpected errors
+#: surface as tracebacks with status 1).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS_FOUND = 3
+
 
 def _load_table(args: argparse.Namespace):
     """Return (table, ground_truth_or_None, label) from CLI arguments."""
@@ -97,13 +103,20 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     session.confirm_all()
     report = session.run_detection(strategy=args.strategy)
     print(render_violations(report, table))
-    if truth is not None and args.score:
-        evaluation = evaluate_report(report, truth)
-        print(
-            f"\nAgainst injected ground truth: precision={evaluation.precision:.3f} "
-            f"recall={evaluation.recall:.3f} f1={evaluation.f1:.3f}"
-        )
-    return 0
+    if args.score:
+        if truth is None:
+            print(
+                "warning: --score ignored: the loaded dataset has no injected "
+                "ground truth (scoring works on built-in synthetic datasets only)",
+                file=sys.stderr,
+            )
+        else:
+            evaluation = evaluate_report(report, truth)
+            print(
+                f"\nAgainst injected ground truth: precision={evaluation.precision:.3f} "
+                f"recall={evaluation.recall:.3f} f1={evaluation.f1:.3f}"
+            )
+    return EXIT_CLEAN if report.is_empty() else EXIT_VIOLATIONS_FOUND
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,7 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(discover)
     discover.set_defaults(handler=_cmd_discover)
 
-    detect = subparsers.add_parser("detect", help="detect errors (Figure 5)")
+    detect = subparsers.add_parser(
+        "detect",
+        help="detect errors (Figure 5)",
+        description=(
+            "Discover PFDs, confirm them all, run detection, and print the "
+            "violations (Figure 5)."
+        ),
+        epilog=(
+            f"exit codes: {EXIT_CLEAN} = clean data (no violations found), "
+            f"{EXIT_VIOLATIONS_FOUND} = violations were found, "
+            "2 = usage error"
+        ),
+    )
     _add_common_arguments(detect)
     detect.add_argument(
         "--strategy",

@@ -218,11 +218,6 @@ class AnmatSession:
             raise ProjectError(
                 "no detection run to maintain; call run_detection() before editing"
             )
-        if self._detection_strategy == DetectionStrategy.BRUTEFORCE:
-            raise ProjectError(
-                "the edit loop maintains blocking-strategy reports only; "
-                "re-run detection with 'auto', 'scan', or 'index' first"
-            )
         if self._incremental is None:
             self._incremental = IncrementalDetector(
                 self.table, self._detection_rules, strategy=self._detection_strategy

@@ -11,6 +11,12 @@ indexes and blocking.
 from repro.detection.violation import Violation, ViolationKind, ViolationReport
 from repro.detection.index import PatternColumnIndex
 from repro.detection.blocking import block_by_key, block_by_projection
+from repro.detection.rules import (
+    ConstantRuleEvaluator,
+    VariableRuleEvaluator,
+    build_rule_evaluators,
+    make_rule_evaluator,
+)
 from repro.detection.detector import DetectionStrategy, ErrorDetector
 from repro.detection.incremental import IncrementalDetector
 from repro.detection.repair import RepairSuggestion, suggest_repairs
@@ -22,6 +28,10 @@ __all__ = [
     "PatternColumnIndex",
     "block_by_key",
     "block_by_projection",
+    "ConstantRuleEvaluator",
+    "VariableRuleEvaluator",
+    "build_rule_evaluators",
+    "make_rule_evaluator",
     "DetectionStrategy",
     "ErrorDetector",
     "IncrementalDetector",

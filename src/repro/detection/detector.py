@@ -11,30 +11,38 @@ Strategies (Section 3 of the paper):
   to shortlist rows and then blocking.
 * ``bruteforce`` — variable rules enumerate *all* tuple pairs, exactly
   the naive algorithm the paper says must be avoided; kept for the
-  strategy-comparison benchmark.
+  strategy-comparison benchmark.  (Only its *enumeration* is naive: the
+  violations themselves are emitted by the same shared evaluators as
+  every other strategy, so all strategies report identical violations.)
 * ``auto`` — ``index`` (the default).
+
+Violation *semantics* — what constitutes a violation, witness selection,
+majority tie-breaking, :class:`Violation` construction — live in
+:mod:`repro.detection.rules`; this module only owns candidate
+enumeration per strategy.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
 from repro.dataset.table import CellEdit, RowAppend, RowDelete, Table
-from repro.detection.blocking import (
-    block_by_projection,
-    majority_value,
-    split_block_by_rhs,
-)
+from repro.detection.blocking import block_by_projection
 from repro.detection.index import PatternColumnIndex
-from repro.detection.violation import Violation, ViolationKind, ViolationReport
+from repro.detection.rules import (
+    ConstantRuleEvaluator,
+    VariableRuleEvaluator,
+    make_rule_evaluator,
+)
+from repro.detection.violation import ViolationReport
 from repro.errors import DetectionError
 from repro.patterns.pattern import Pattern
 from repro.perf import TABLE_ARTIFACTS
 from repro.perf.memo import MatchMemo, MATCH_MEMO
 from repro.pfd.pfd import PFD
-from repro.pfd.tableau import TableauRow, Wildcard, cell_matches, cell_to_text
+from repro.pfd.tableau import cell_matches
 
 
 class DetectionStrategy:
@@ -103,17 +111,14 @@ class ErrorDetector:
         lhs_values = self.table.column_ref(lhs)
         rhs_values = self.table.column_ref(rhs)
         for rule_index, rule in enumerate(pfd.tableau):
-            lhs_cell = rule.cell(lhs)
-            rhs_cell = rule.cell(rhs)
-            if isinstance(rhs_cell, Wildcard):
+            evaluator = make_rule_evaluator(pfd, rule_index, rule)
+            if isinstance(evaluator, VariableRuleEvaluator):
                 self._detect_variable_rule(
-                    report, pfd, rule_index, rule, lhs_cell,
-                    lhs_values, rhs_values, strategy,
+                    report, evaluator, lhs_values, rhs_values, strategy
                 )
             else:
                 self._detect_constant_rule(
-                    report, pfd, rule_index, rule, lhs_cell, rhs_cell,
-                    lhs_values, rhs_values, strategy,
+                    report, evaluator, lhs_values, rhs_values, strategy
                 )
         report.elapsed_seconds = time.perf_counter() - started
         return report
@@ -172,125 +177,72 @@ class ErrorDetector:
     def _detect_constant_rule(
         self,
         report: ViolationReport,
-        pfd: PFD,
-        rule_index: int,
-        rule: TableauRow,
-        lhs_cell,
-        rhs_cell,
+        evaluator: ConstantRuleEvaluator,
         lhs_values: Sequence[str],
         rhs_values: Sequence[str],
         strategy: str,
     ) -> None:
-        lhs = pfd.lhs_attribute
-        rhs = pfd.rhs_attribute
-        expected = cell_to_text(rhs_cell) if not isinstance(rhs_cell, Wildcard) else None
-        pfd_name = pfd.name or str(pfd.fd)
-        rule_text = rule.render()  # rendered once per rule, not per violation
-        for row in self._matching_rows(lhs, lhs_cell, lhs_values, strategy, report):
-            report.comparisons += 1
-            if cell_matches(rhs_cell, rhs_values[row]):
-                continue
-            report.add(
-                Violation(
-                    pfd_name=pfd_name,
-                    lhs_attribute=lhs,
-                    rhs_attribute=rhs,
-                    kind=ViolationKind.CONSTANT,
-                    rule_index=rule_index,
-                    rule_text=rule_text,
-                    rows=(row,),
-                    cells=((row, lhs), (row, rhs)),
-                    suspect_cell=(row, rhs),
-                    observed_value=rhs_values[row],
-                    expected_value=expected,
-                )
-            )
+        rows = self._matching_rows(
+            evaluator.lhs, evaluator.lhs_cell, lhs_values, strategy, report
+        )
+        report.extend(evaluator.emit_full(rows, rhs_values, self.memo, report))
 
     # -- variable rules ------------------------------------------------------------------
 
     def _detect_variable_rule(
         self,
         report: ViolationReport,
-        pfd: PFD,
-        rule_index: int,
-        rule: TableauRow,
-        lhs_cell,
+        evaluator: VariableRuleEvaluator,
         lhs_values: Sequence[str],
         rhs_values: Sequence[str],
         strategy: str,
     ) -> None:
-        lhs = pfd.lhs_attribute
-        rhs = pfd.rhs_attribute
-        constrained = _as_constrained(lhs_cell)
-        matching = self._matching_rows(lhs, constrained, lhs_values, strategy, report)
+        constrained = evaluator.constrained
+        matching = self._matching_rows(
+            evaluator.lhs, constrained, lhs_values, strategy, report
+        )
         if strategy == DetectionStrategy.BRUTEFORCE:
-            pairs = self._bruteforce_pairs(
+            blocks = self._bruteforce_disagreeing_blocks(
                 matching, constrained, lhs_values, rhs_values, report
             )
-            self._emit_pair_violations(
-                report, pfd, rule_index, rule, pairs, lhs, rhs, rhs_values
-            )
+            # The pair loop already counted its comparisons — no report
+            # here, just the shared per-block emission.
+            report.extend(evaluator.emit_full(blocks, rhs_values))
             return
         # Projection blocks depend only on (LHS column, pattern) — share
         # them across rules, strategies, and detector instances.
+        lhs = evaluator.lhs
         blocks = TABLE_ARTIFACTS.get(
             self.table,
             ("projection_blocks", lhs, constrained),
             lambda: block_by_projection(matching, lhs_values, constrained, memo=self.memo),
         )
-        pfd_name = pfd.name or str(pfd.fd)
-        rule_text = rule.render()  # rendered once per rule, not per violation
-        for block_rows in blocks.values():
-            if len(block_rows) < 2:
-                continue
-            report.comparisons += len(block_rows)
-            groups = split_block_by_rhs(block_rows, rhs_values)
-            if len(groups) < 2:
-                continue
-            majority = majority_value(groups)
-            witnesses = groups[majority]
-            for value, rows in groups.items():
-                if value == majority:
-                    continue
-                for row in rows:
-                    witness = witnesses[0]
-                    report.add(
-                        Violation(
-                            pfd_name=pfd_name,
-                            lhs_attribute=lhs,
-                            rhs_attribute=rhs,
-                            kind=ViolationKind.VARIABLE,
-                            rule_index=rule_index,
-                            rule_text=rule_text,
-                            rows=(witness, row),
-                            cells=(
-                                (witness, lhs),
-                                (witness, rhs),
-                                (row, lhs),
-                                (row, rhs),
-                            ),
-                            suspect_cell=(row, rhs),
-                            observed_value=value,
-                            expected_value=majority,
-                        )
-                    )
+        report.extend(evaluator.emit_full(blocks, rhs_values, report))
 
-    def _bruteforce_pairs(
+    def _bruteforce_disagreeing_blocks(
         self,
         matching: Sequence[int],
         constrained: ConstrainedPattern,
         lhs_values: Sequence[str],
         rhs_values: Sequence[str],
         report: ViolationReport,
-    ) -> List[Tuple[int, int]]:
-        """All violating pairs found by comparing every pair of matching rows.
+    ) -> Dict[Hashable, List[int]]:
+        """The naive quadratic pair enumeration, reduced to blocks.
+
+        Compares every pair of matching rows (the comparison count the
+        strategy benchmark is about) and collects the rows of violating
+        pairs per ``≡_Q`` key.  A block with two disagreeing RHS groups
+        puts *every* one of its rows into some violating pair, so the
+        collected row sets are complete blocks wherever a disagreement
+        exists — exactly the blocks the shared evaluator needs, making
+        bruteforce emission identical to the blocking strategies.
 
         Projections are memoized per distinct value, so the quadratic
         pair loop degenerates to dictionary lookups instead of running
         the projection regex twice per pair.
         """
         project = self.memo.projector(constrained)
-        pairs: List[Tuple[int, int]] = []
+        rows_by_key: Dict[Hashable, Set[int]] = {}
         for i_index in range(len(matching)):
             i = matching[i_index]
             left_projection = project(lhs_values[i])
@@ -302,42 +254,8 @@ class ErrorDetector:
                 if left_projection is None:
                     continue
                 if left_projection == project(lhs_values[j]):
-                    pairs.append((i, j))
-        return pairs
-
-    def _emit_pair_violations(
-        self,
-        report: ViolationReport,
-        pfd: PFD,
-        rule_index: int,
-        rule: TableauRow,
-        pairs: Sequence[Tuple[int, int]],
-        lhs: str,
-        rhs: str,
-        rhs_values: Sequence[str],
-    ) -> None:
-        """Convert raw violating pairs into violations.
-
-        The brute-force path has no notion of a block majority, so the
-        second row of each pair is reported as the suspect (matching the
-        reference semantics in :mod:`repro.pfd.satisfaction`).
-        """
-        for left, right in pairs:
-            report.add(
-                Violation(
-                    pfd_name=pfd.name or str(pfd.fd),
-                    lhs_attribute=lhs,
-                    rhs_attribute=rhs,
-                    kind=ViolationKind.VARIABLE,
-                    rule_index=rule_index,
-                    rule_text=rule.render(),
-                    rows=(left, right),
-                    cells=((left, lhs), (left, rhs), (right, lhs), (right, rhs)),
-                    suspect_cell=(right, rhs),
-                    observed_value=rhs_values[right],
-                    expected_value=rhs_values[left],
-                )
-            )
+                    rows_by_key.setdefault(left_projection, set()).update((i, j))
+        return {key: sorted(rows) for key, rows in rows_by_key.items()}
 
 
 def column_index_patcher(table: Table, attribute: str):
@@ -361,17 +279,3 @@ def column_index_patcher(table: Table, attribute: str):
         return index
 
     return patch
-
-
-def _as_constrained(lhs_cell) -> ConstrainedPattern:
-    """Normalize a variable rule's LHS cell to a constrained pattern."""
-    if isinstance(lhs_cell, ConstrainedPattern):
-        return lhs_cell
-    if isinstance(lhs_cell, Pattern):
-        return ConstrainedPattern.whole_value(lhs_cell)
-    if isinstance(lhs_cell, str):
-        return ConstrainedPattern.whole_value(Pattern.literal(lhs_cell))
-    raise DetectionError(
-        f"variable rule has an unsupported LHS cell {lhs_cell!r}; "
-        "expected a pattern or constrained pattern"
-    )

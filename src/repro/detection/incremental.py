@@ -17,6 +17,12 @@ in scope of each constant rule, the ``≡_Q`` blocks of each variable rule
 * a **delete** unposts the row, renumbers the indexes behind it, and
   re-derives only the block the row left.
 
+All violation *semantics* — and the state the hooks above maintain —
+live in the shared evaluators of :mod:`repro.detection.rules`; this
+module only owns delta replay and the shadow columns it reads from.
+Because batch detection emits through the very same evaluators, the two
+paths cannot drift apart.
+
 Pattern verdicts and constrained projections are read through the shared
 :class:`~repro.perf.memo.MatchMemo` (one regex run per distinct value,
 ever) and the initial build shares the per-table
@@ -27,247 +33,28 @@ detection run costs dictionary lookups, not regex work.
 Correctness contract: after any sequence of mutations,
 ``detector.report().canonical_violations()`` equals the canonical
 violations of a from-scratch ``ErrorDetector(table).detect_all(pfds)``
-on the final table — randomized equivalence tests enforce this.
+on the final table — for *every* strategy, bruteforce included, since
+emission is unified — randomized equivalence tests enforce this.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import replace
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
 from repro.dataset.table import CellEdit, RowAppend, RowDelete, Table
-from repro.detection.blocking import (
-    add_row_to_blocks,
-    majority_value,
-    remove_row_from_blocks,
-    renumber_blocks_after_delete,
-    split_block_by_rhs,
+from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.rules import (
+    ConstantRuleEvaluator,
+    RuleEvaluator,
+    VariableRuleEvaluator,
+    make_rule_evaluator,
 )
-from repro.detection.detector import DetectionStrategy, ErrorDetector, _as_constrained
-from repro.detection.violation import Violation, ViolationKind, ViolationReport
+from repro.detection.violation import ViolationReport
 from repro.errors import DetectionError
 from repro.patterns.pattern import Pattern
 from repro.perf.memo import MatchMemo, MATCH_MEMO
 from repro.pfd.pfd import PFD
-from repro.pfd.tableau import Wildcard, cell_matches, cell_to_text
-
-
-def _shift_after_delete(violation: Violation, deleted_row: int) -> Violation:
-    """Renumber a violation's row references after a row deletion.
-
-    The violation must not reference the deleted row itself (those are
-    re-derived from their block instead of shifted).
-    """
-
-    def shift(row: int) -> int:
-        return row - 1 if row > deleted_row else row
-
-    return replace(
-        violation,
-        rows=tuple(shift(r) for r in violation.rows),
-        cells=tuple((shift(r), attr) for r, attr in violation.cells),
-        suspect_cell=(shift(violation.suspect_cell[0]), violation.suspect_cell[1]),
-    )
-
-
-class _ConstantRuleState:
-    """One constant tableau rule: per-row violations, one row at a time."""
-
-    __slots__ = (
-        "lhs", "rhs", "lhs_cell", "rhs_cell", "expected",
-        "pfd_name", "rule_index", "rule_text", "violations",
-    )
-
-    def __init__(self, pfd: PFD, rule_index: int, rule) -> None:
-        self.lhs = pfd.lhs_attribute
-        self.rhs = pfd.rhs_attribute
-        self.lhs_cell = rule.cell(self.lhs)
-        self.rhs_cell = rule.cell(self.rhs)
-        self.expected = cell_to_text(self.rhs_cell)
-        self.pfd_name = pfd.name or str(pfd.fd)
-        self.rule_index = rule_index
-        self.rule_text = rule.render()
-        #: row → its violation (only violating rows are stored)
-        self.violations: Dict[int, Violation] = {}
-
-    def _lhs_matches(self, memo: MatchMemo, value: str) -> bool:
-        if isinstance(self.lhs_cell, (Pattern, ConstrainedPattern)):
-            return memo.matches(self.lhs_cell, value)
-        return cell_matches(self.lhs_cell, value)
-
-    def _rhs_satisfied(self, memo: MatchMemo, value: str) -> bool:
-        if isinstance(self.rhs_cell, (Pattern, ConstrainedPattern)):
-            return memo.matches(self.rhs_cell, value)
-        return cell_matches(self.rhs_cell, value)
-
-    def _violation(self, row: int, observed: str) -> Violation:
-        return Violation(
-            pfd_name=self.pfd_name,
-            lhs_attribute=self.lhs,
-            rhs_attribute=self.rhs,
-            kind=ViolationKind.CONSTANT,
-            rule_index=self.rule_index,
-            rule_text=self.rule_text,
-            rows=(row,),
-            cells=((row, self.lhs), (row, self.rhs)),
-            suspect_cell=(row, self.rhs),
-            observed_value=observed,
-            expected_value=self.expected,
-        )
-
-    def reevaluate_row(self, memo: MatchMemo, row: int, lhs_value: str, rhs_value: str) -> None:
-        """Recompute one row's membership after its LHS or RHS changed."""
-        if self._lhs_matches(memo, lhs_value) and not self._rhs_satisfied(memo, rhs_value):
-            self.violations[row] = self._violation(row, rhs_value)
-        else:
-            self.violations.pop(row, None)
-
-    def delete_row(self, row: int) -> None:
-        self.violations.pop(row, None)
-        self.violations = {
-            (r - 1 if r > row else r): (
-                _shift_after_delete(v, row) if r > row else v
-            )
-            for r, v in self.violations.items()
-        }
-
-    def emit(self) -> Iterable[Violation]:
-        for row in sorted(self.violations):
-            yield self.violations[row]
-
-
-class _VariableRuleState:
-    """One variable tableau rule: ``≡_Q`` blocks plus per-block violations."""
-
-    __slots__ = (
-        "lhs", "rhs", "constrained", "pfd_name", "rule_index", "rule_text",
-        "blocks", "row_key", "block_violations",
-    )
-
-    def __init__(self, pfd: PFD, rule_index: int, rule) -> None:
-        self.lhs = pfd.lhs_attribute
-        self.rhs = pfd.rhs_attribute
-        self.constrained = _as_constrained(rule.cell(self.lhs))
-        self.pfd_name = pfd.name or str(pfd.fd)
-        self.rule_index = rule_index
-        self.rule_text = rule.render()
-        #: projection key → ascending row list (the ``≡_Q`` block)
-        self.blocks: Dict[Hashable, List[int]] = {}
-        #: row → its block key (rows whose projection is None are absent)
-        self.row_key: Dict[int, Hashable] = {}
-        #: block key → that block's current violations
-        self.block_violations: Dict[Hashable, List[Violation]] = {}
-
-    def rederive_block(self, key: Hashable, rhs_values: Sequence[str]) -> None:
-        """Recompute one block's violations (mirrors the batch detector)."""
-        rows = self.blocks.get(key)
-        self.block_violations.pop(key, None)
-        if rows is None or len(rows) < 2:
-            return
-        groups = split_block_by_rhs(rows, rhs_values)
-        if len(groups) < 2:
-            return
-        majority = majority_value(groups)
-        witness = groups[majority][0]
-        violations: List[Violation] = []
-        for value, value_rows in groups.items():
-            if value == majority:
-                continue
-            for row in value_rows:
-                violations.append(
-                    Violation(
-                        pfd_name=self.pfd_name,
-                        lhs_attribute=self.lhs,
-                        rhs_attribute=self.rhs,
-                        kind=ViolationKind.VARIABLE,
-                        rule_index=self.rule_index,
-                        rule_text=self.rule_text,
-                        rows=(witness, row),
-                        cells=(
-                            (witness, self.lhs),
-                            (witness, self.rhs),
-                            (row, self.lhs),
-                            (row, self.rhs),
-                        ),
-                        suspect_cell=(row, self.rhs),
-                        observed_value=value,
-                        expected_value=majority,
-                    )
-                )
-        if violations:
-            self.block_violations[key] = violations
-
-    def move_row(
-        self,
-        memo: MatchMemo,
-        row: int,
-        new_lhs_value: str,
-        rhs_values: Sequence[str],
-    ) -> None:
-        """Re-home a row whose LHS value changed; re-derive both blocks."""
-        old_key = self.row_key.get(row)
-        new_key = memo.project(self.constrained, new_lhs_value)
-        if old_key == new_key:
-            # Same block (the violation payload carries no LHS values),
-            # or still unmatched: nothing can have changed.
-            return
-        if old_key is not None:
-            remove_row_from_blocks(self.blocks, old_key, row)
-            self.rederive_block(old_key, rhs_values)
-        if new_key is None:
-            self.row_key.pop(row, None)
-        else:
-            add_row_to_blocks(self.blocks, new_key, row)
-            self.row_key[row] = new_key
-            self.rederive_block(new_key, rhs_values)
-
-    def rhs_changed(self, row: int, rhs_values: Sequence[str]) -> None:
-        key = self.row_key.get(row)
-        if key is not None:
-            self.rederive_block(key, rhs_values)
-
-    def append_row(
-        self,
-        memo: MatchMemo,
-        row: int,
-        lhs_value: str,
-        rhs_values: Sequence[str],
-    ) -> None:
-        key = memo.project(self.constrained, lhs_value)
-        if key is None:
-            return
-        add_row_to_blocks(self.blocks, key, row)
-        self.row_key[row] = key
-        self.rederive_block(key, rhs_values)
-
-    def delete_row(self, row: int, rhs_values: Sequence[str]) -> None:
-        """Unpost a deleted row, renumber everything behind it, and
-        re-derive the block it left (``rhs_values`` are post-delete)."""
-        key = self.row_key.pop(row, None)
-        if key is not None:
-            remove_row_from_blocks(self.blocks, key, row)
-        renumber_blocks_after_delete(self.blocks, row)
-        self.row_key = {
-            (r - 1 if r > row else r): k for r, k in self.row_key.items()
-        }
-        # Untouched blocks only need their stored row references shifted;
-        # membership, majorities, and witnesses are unchanged for them.
-        self.block_violations = {
-            k: [_shift_after_delete(v, row) for v in violations]
-            for k, violations in self.block_violations.items()
-            if k != key
-        }
-        if key is not None:
-            self.rederive_block(key, rhs_values)
-
-    def emit(self) -> Iterable[Violation]:
-        collected: List[Violation] = []
-        for violations in self.block_violations.values():
-            collected.extend(violations)
-        collected.sort(key=lambda v: (v.rows, v.suspect_cell))
-        return collected
 
 
 class IncrementalDetector:
@@ -292,19 +79,11 @@ class IncrementalDetector:
             raise DetectionError(
                 f"unknown strategy {strategy!r}; expected one of {DetectionStrategy.ALL}"
             )
-        if strategy == DetectionStrategy.BRUTEFORCE:
-            # Brute force emits one violation per violating *pair* (no
-            # majority blocking); that shape cannot be maintained from
-            # per-block state, so refusing beats silently diverging.
-            raise DetectionError(
-                "incremental maintenance supports the blocking strategies "
-                "(auto/scan/index) only; bruteforce reports per-pair violations"
-            )
         self.table = table
         self.pfds = list(pfds)
         self.strategy = strategy
         self.memo = MATCH_MEMO if memo is None else memo
-        self._rules: List[object] = []
+        self._rules: List[RuleEvaluator] = []
         # Shadow copies of every rule-referenced column, advanced in
         # lockstep with each replayed delta.  Handlers read these, never
         # the live table: when refresh() catches up on a *batch* of
@@ -326,45 +105,35 @@ class IncrementalDetector:
                 if attribute not in self._shadow:
                     self._shadow[attribute] = list(self.table.column_ref(attribute))
         for pfd in self.pfds:
-            lhs = pfd.lhs_attribute
-            rhs = pfd.rhs_attribute
-            lhs_values = self._shadow[lhs]
-            rhs_values = self._shadow[rhs]
+            lhs_values = self._shadow[pfd.lhs_attribute]
+            rhs_values = self._shadow[pfd.rhs_attribute]
             for rule_index, rule in enumerate(pfd.tableau):
-                if isinstance(rule.cell(rhs), Wildcard):
-                    state = _VariableRuleState(pfd, rule_index, rule)
-                    project = self.memo.projector(state.constrained)
-                    for row, value in enumerate(lhs_values):
-                        key = project(value)
-                        if key is None:
-                            continue
-                        state.blocks.setdefault(key, []).append(row)
-                        state.row_key[row] = key
-                    for key in state.blocks:
-                        state.rederive_block(key, rhs_values)
+                evaluator = make_rule_evaluator(pfd, rule_index, rule)
+                if isinstance(evaluator, VariableRuleEvaluator):
+                    evaluator.seed_full(self.memo, lhs_values, rhs_values)
                 else:
-                    state = _ConstantRuleState(pfd, rule_index, rule)
-                    for row in self._initial_scope(detector, state, lhs_values):
-                        value = rhs_values[row]
-                        if not state._rhs_satisfied(self.memo, value):
-                            state.violations[row] = state._violation(row, value)
-                self._rules.append(state)
+                    evaluator.seed_full(
+                        self._initial_scope(detector, evaluator, lhs_values),
+                        rhs_values,
+                        self.memo,
+                    )
+                self._rules.append(evaluator)
         self._synced_version = self.table.version
 
     def _initial_scope(
         self,
         detector: ErrorDetector,
-        state: _ConstantRuleState,
+        evaluator: ConstantRuleEvaluator,
         lhs_values: Sequence[str],
     ) -> Iterable[int]:
         """Rows matching a constant rule's LHS cell, via the shared
         per-table column index so batch and incremental runs reuse one
         artifact."""
-        cell = state.lhs_cell
+        cell = evaluator.lhs_cell
         if isinstance(cell, (Pattern, ConstrainedPattern)):
-            return detector.column_index(state.lhs).matching_rows(cell, self.memo)
+            return detector.column_index(evaluator.lhs).matching_rows(cell, self.memo)
         if isinstance(cell, str):
-            return detector.column_index(state.lhs).matching_constant(cell)
+            return detector.column_index(evaluator.lhs).matching_constant(cell)
         return range(len(lhs_values))  # wildcard LHS: every row is in scope
 
     # -- mutation API ------------------------------------------------------------
@@ -424,40 +193,40 @@ class IncrementalDetector:
                 del column[delta.row]
 
     def _apply_edit(self, delta: CellEdit) -> None:
-        for state in self._rules:
-            if isinstance(state, _ConstantRuleState):
-                if delta.column in (state.lhs, state.rhs):
-                    state.reevaluate_row(
+        for evaluator in self._rules:
+            if isinstance(evaluator, ConstantRuleEvaluator):
+                if delta.column in (evaluator.lhs, evaluator.rhs):
+                    evaluator.reevaluate_row(
                         self.memo,
                         delta.row,
-                        self._shadow[state.lhs][delta.row],
-                        self._shadow[state.rhs][delta.row],
+                        self._shadow[evaluator.lhs][delta.row],
+                        self._shadow[evaluator.rhs][delta.row],
                     )
             else:
-                rhs_values = self._shadow[state.rhs]
-                if delta.column == state.lhs:
-                    state.move_row(self.memo, delta.row, delta.new, rhs_values)
-                elif delta.column == state.rhs:
-                    state.rhs_changed(delta.row, rhs_values)
+                rhs_values = self._shadow[evaluator.rhs]
+                if delta.column == evaluator.lhs:
+                    evaluator.move_row(self.memo, delta.row, delta.new, rhs_values)
+                elif delta.column == evaluator.rhs:
+                    evaluator.rhs_changed(delta.row, rhs_values)
 
     def _apply_append(self, delta: RowAppend) -> None:
         schema = self.table.schema
-        for state in self._rules:
-            lhs_value = delta.values[schema.index_of(state.lhs)]
-            rhs_value = delta.values[schema.index_of(state.rhs)]
-            if isinstance(state, _ConstantRuleState):
-                state.reevaluate_row(self.memo, delta.row, lhs_value, rhs_value)
+        for evaluator in self._rules:
+            lhs_value = delta.values[schema.index_of(evaluator.lhs)]
+            rhs_value = delta.values[schema.index_of(evaluator.rhs)]
+            if isinstance(evaluator, ConstantRuleEvaluator):
+                evaluator.append_row(self.memo, delta.row, lhs_value, rhs_value)
             else:
-                state.append_row(
-                    self.memo, delta.row, lhs_value, self._shadow[state.rhs]
+                evaluator.append_row(
+                    self.memo, delta.row, lhs_value, self._shadow[evaluator.rhs]
                 )
 
     def _apply_delete(self, delta: RowDelete) -> None:
-        for state in self._rules:
-            if isinstance(state, _ConstantRuleState):
-                state.delete_row(delta.row)
+        for evaluator in self._rules:
+            if isinstance(evaluator, ConstantRuleEvaluator):
+                evaluator.delete_row(delta.row)
             else:
-                state.delete_row(delta.row, self._shadow[state.rhs])
+                evaluator.delete_row(delta.row, self._shadow[evaluator.rhs])
 
     # -- output ---------------------------------------------------------------------
 
@@ -472,8 +241,8 @@ class IncrementalDetector:
         self.refresh()
         report = ViolationReport(n_rows=self.table.n_rows, strategy=self.strategy)
         seen = set()
-        for state in self._rules:
-            for violation in state.emit():
+        for evaluator in self._rules:
+            for violation in evaluator.emit():
                 key = report.identity_key(violation)
                 if key in seen:
                     continue

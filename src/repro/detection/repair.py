@@ -11,9 +11,10 @@ show a full detect-and-fix loop, but nothing applies them implicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.dataset.table import Table
+from repro.detection.rules import elect_expected_value
 from repro.detection.violation import Violation, ViolationReport
 
 
@@ -40,7 +41,9 @@ def suggest_repairs(report: ViolationReport) -> List[RepairSuggestion]:
 
     When several violations flag the same cell, the suggestion backed by
     the most violations (then the first seen) wins; its confidence is the
-    fraction of that cell's violations that agree with it.
+    fraction of that cell's violations that agree with it.  The election
+    itself is :func:`repro.detection.rules.elect_expected_value`, shared
+    with the emission layer that produced the expected values.
     """
     by_cell: Dict[Tuple[int, str], List[Violation]] = {}
     for violation in report:
@@ -49,13 +52,7 @@ def suggest_repairs(report: ViolationReport) -> List[RepairSuggestion]:
         by_cell.setdefault(violation.suspect_cell, []).append(violation)
     suggestions: List[RepairSuggestion] = []
     for (row, attribute), violations in sorted(by_cell.items()):
-        votes: Dict[str, int] = {}
-        for violation in violations:
-            votes[violation.expected_value] = votes.get(violation.expected_value, 0) + 1
-        # dicts iterate in insertion (= first-seen) order, so on a vote
-        # tie max() keeps the earlier-seen value.
-        winner = max(votes, key=lambda value: votes[value])
-        backer = next(v for v in violations if v.expected_value == winner)
+        winner, backer, confidence = elect_expected_value(violations)
         suggestions.append(
             RepairSuggestion(
                 row=row,
@@ -63,7 +60,7 @@ def suggest_repairs(report: ViolationReport) -> List[RepairSuggestion]:
                 current_value=violations[0].observed_value,
                 suggested_value=winner,
                 pfd_name=backer.pfd_name,
-                confidence=votes[winner] / len(violations),
+                confidence=confidence,
             )
         )
     return suggestions

@@ -43,7 +43,11 @@ class Violation:
 
     def describe(self) -> str:
         """Human-readable one-liner, e.g. ``8505467600 | CA`` of Table 3."""
-        expectation = f" (expected {self.expected_value!r})" if self.expected_value else ""
+        # `is not None`, not truthiness: an empty-string expectation (a
+        # constant rule whose RHS constant is "") must still render.
+        expectation = (
+            f" (expected {self.expected_value!r})" if self.expected_value is not None else ""
+        )
         return (
             f"{self.pfd_name}: rows {list(self.rows)} — "
             f"{self.rhs_attribute}={self.observed_value!r}{expectation} "

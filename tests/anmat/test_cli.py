@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.anmat.cli import build_parser, main
+from repro.anmat.cli import EXIT_CLEAN, EXIT_VIOLATIONS_FOUND, build_parser, main
 from repro.dataset.csvio import write_csv
 from repro.datagen import build_dataset
 
@@ -45,6 +45,8 @@ class TestCommands:
         assert "Discovered" in out
 
     def test_detect_command_with_score(self, capsys):
+        # the dataset has injected errors, so detect signals them via the
+        # documented non-zero exit code
         code = main(
             [
                 "detect",
@@ -53,7 +55,7 @@ class TestCommands:
                 "--score",
             ]
         )
-        assert code == 0
+        assert code == EXIT_VIOLATIONS_FOUND
         out = capsys.readouterr().out
         assert "violations over" in out
         assert "precision=" in out
@@ -61,7 +63,36 @@ class TestCommands:
     def test_detect_with_strategy(self, capsys):
         code = main(["detect", "--dataset", "paper_d2_zip", "--min-coverage", "0.4",
                      "--allowed-violations", "0.3", "--strategy", "scan"])
-        assert code == 0
+        assert code in (EXIT_CLEAN, EXIT_VIOLATIONS_FOUND)
+
+    def test_detect_exit_code_distinguishes_clean_data(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        clean_path = tmp_path / "clean.csv"
+        write_csv(dataset.clean_table, clean_path)
+        assert main(["detect", "--csv", str(clean_path)]) == EXIT_CLEAN
+        dirty_path = tmp_path / "dirty.csv"
+        write_csv(dataset.table, dirty_path)
+        assert main(["detect", "--csv", str(dirty_path)]) == EXIT_VIOLATIONS_FOUND
+        capsys.readouterr()
+
+    def test_detect_help_mentions_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["detect", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        assert str(EXIT_VIOLATIONS_FOUND) in out
+
+    def test_score_without_ground_truth_warns_on_stderr(self, tmp_path, capsys):
+        # a CSV upload has no injected ground truth: --score must say so
+        # instead of silently skipping the evaluation block
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        code = main(["detect", "--csv", str(path), "--score"])
+        assert code == EXIT_VIOLATIONS_FOUND
+        captured = capsys.readouterr()
+        assert "--score ignored" in captured.err
+        assert "precision=" not in captured.out
 
     def test_csv_input(self, tmp_path, capsys):
         dataset = build_dataset("zip_city_state", n_rows=200)

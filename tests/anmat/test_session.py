@@ -5,6 +5,7 @@ import pytest
 
 from repro.anmat.project import ProjectStore
 from repro.anmat.session import AnmatSession, SessionState
+from repro.detection import ErrorDetector
 from repro.discovery.config import DiscoveryConfig
 from repro.errors import ProjectError
 from repro.metrics.evaluation import evaluate_report
@@ -200,11 +201,18 @@ class TestEditLoop:
         # neither table was touched by the rejected edit
         assert old_table.cell(1, "city") == new_table.cell(1, "city")
 
-    def test_bruteforce_detection_refuses_the_edit_loop(self, detected_session):
+    def test_bruteforce_detection_supports_the_edit_loop(self, detected_session):
+        # bruteforce emission is unified with the blocking strategies, so
+        # its reports are incrementally maintainable like any other
         session = detected_session
-        session.run_detection(strategy="bruteforce")
-        with pytest.raises(ProjectError):
-            session.edit_cell(0, "city", "X")
+        before = session.run_detection(strategy="bruteforce")
+        after = session.edit_cell(0, "city", "X")
+        assert session.state.value == "editing"
+        full = ErrorDetector(session.table.copy()).detect_all(
+            session.confirmed_pfds(), strategy="bruteforce"
+        )
+        assert after.canonical_violations() == full.canonical_violations()
+        assert before is not after
 
 
 class TestProjectIntegration:

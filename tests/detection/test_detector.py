@@ -93,9 +93,15 @@ class TestVariableDetection:
         report = ErrorDetector(zip_table).detect(lambda5, strategy=strategy)
         assert 3 in {row for row, _attr in report.suspect_cells()}
 
-    def test_bruteforce_reports_pairs(self, zip_table, lambda5):
-        report = ErrorDetector(zip_table).detect(lambda5, strategy=DetectionStrategy.BRUTEFORCE)
-        assert len(report) == 3  # s4 against each of s1, s2, s3
+    def test_bruteforce_emits_the_same_violations_as_blocking(self, zip_table, lambda5):
+        # bruteforce only differs in *enumeration* (all pairs); emission
+        # goes through the same shared evaluator, so the violations are
+        # identical to the blocking strategies — one per minority row,
+        # not one per pair
+        brute = ErrorDetector(zip_table).detect(lambda5, strategy=DetectionStrategy.BRUTEFORCE)
+        blocked = ErrorDetector(zip_table).detect(lambda5, strategy=DetectionStrategy.INDEX)
+        assert len(brute) == 1
+        assert brute.canonical_violations() == blocked.canonical_violations()
 
     def test_bruteforce_comparisons_exceed_blocking(self, small_zip_city_state, lambda5):
         table = small_zip_city_state.table

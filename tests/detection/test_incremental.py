@@ -56,11 +56,16 @@ def random_mutation(rng, table: Table, step: int) -> None:
     if op == "edit":
         column = rng.choice(columns)
         # usually merge into an existing value (exercises block merges),
-        # sometimes introduce a never-seen one (block splits / new blocks)
-        if rng.random() < 0.7:
+        # sometimes introduce a never-seen one (block splits / new
+        # blocks), occasionally an empty string (the adversarial value
+        # for RHS grouping and describe())
+        roll = rng.random()
+        if roll < 0.65:
             value = rng.choice(table.column_ref(column))
-        else:
+        elif roll < 0.9:
             value = f"novel-{step}"
+        else:
+            value = ""
         table.set_cell(rng.randrange(table.n_rows), column, value)
     elif op == "append":
         table.append_row(
@@ -76,6 +81,23 @@ def assert_equivalent(incremental: IncrementalDetector, pfds, context: str) -> N
     got = incremental.report()
     assert got.n_rows == full.n_rows, context
     assert got.canonical_violations() == full.canonical_violations(), context
+
+
+def assert_all_strategies_equivalent(
+    incremental: IncrementalDetector, pfds, context: str
+) -> None:
+    """Stronger form: the maintained report equals a from-scratch run of
+    *every* batch strategy — one emission engine, one answer."""
+    fresh = incremental.table.copy()
+    got = incremental.report().canonical_violations()
+    detector = ErrorDetector(fresh)
+    for strategy in (
+        DetectionStrategy.SCAN,
+        DetectionStrategy.INDEX,
+        DetectionStrategy.BRUTEFORCE,
+    ):
+        full = detector.detect_all(pfds, strategy=strategy)
+        assert got == full.canonical_violations(), f"{context} [{strategy}]"
 
 
 class TestRandomizedEquivalence:
@@ -106,6 +128,23 @@ class TestRandomizedEquivalence:
         for step in range(25):
             random_mutation(rng, table, step)
             assert_equivalent(incremental, pfds, f"{dataset} step={step}")
+
+    @pytest.mark.parametrize("dataset", sorted(GENERATORS))
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mutation_sequence_matches_every_batch_strategy(
+        self, rulesets, make_rng, dataset, seed
+    ):
+        # scan, index, AND bruteforce — all strategies share one emission
+        # engine, so the maintained report must equal each of them
+        pristine, pfds = rulesets[dataset]
+        table = pristine.copy()
+        rng = make_rng(1000 + seed)
+        incremental = IncrementalDetector(table, pfds)
+        for step in range(8):
+            random_mutation(rng, table, step)
+        assert_all_strategies_equivalent(
+            incremental, pfds, f"{dataset} seed={seed}"
+        )
 
 
 class TestMutationAPI:
@@ -170,12 +209,21 @@ class TestMutationAPI:
         with pytest.raises(DetectionError):
             IncrementalDetector(table, pfds, strategy="nope")
 
-    def test_bruteforce_strategy_rejected(self, zip_setup):
-        # brute force emits per-pair violations — a shape the per-block
-        # state cannot maintain, so it must be refused, not diverged from
+    def test_bruteforce_strategy_is_maintained_too(self, zip_setup):
+        # bruteforce emission goes through the same shared evaluators as
+        # blocking, so its reports can be incrementally maintained as well
         table, pfds, _ = zip_setup
-        with pytest.raises(DetectionError):
-            IncrementalDetector(table, pfds, strategy=DetectionStrategy.BRUTEFORCE)
+        incremental = IncrementalDetector(
+            table, pfds, strategy=DetectionStrategy.BRUTEFORCE
+        )
+        full = ErrorDetector(table.copy()).detect_all(
+            pfds, strategy=DetectionStrategy.BRUTEFORCE
+        )
+        report = incremental.report()
+        assert report.strategy == DetectionStrategy.BRUTEFORCE
+        assert report.canonical_violations() == full.canonical_violations()
+        incremental.set_cell(0, "city", "Bruteville")
+        assert_equivalent(incremental, pfds, "bruteforce edit")
 
     def test_report_strategy_and_n_rows(self, zip_setup):
         table, pfds, incremental = zip_setup

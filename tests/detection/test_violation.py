@@ -31,6 +31,12 @@ class TestViolation:
         violation = make_violation(expected=None)
         assert "expected" not in violation.describe()
 
+    def test_describe_with_empty_string_expectation(self):
+        # regression: a truthiness check used to hide the expectation when
+        # a constant rule's RHS constant is the empty string
+        violation = make_violation(expected="")
+        assert "(expected '')" in violation.describe()
+
 
 class TestViolationReport:
     def test_add_and_len(self):
