@@ -1,20 +1,28 @@
 # Development entry points.  `make check` is the pre-merge gate: the
-# tier-1 test suite plus the persisted-benchmark perf smoke gate.
+# tier-1 test suite, the persisted-benchmark perf smoke gate, and the
+# detection/sharding line-coverage gate.
 
 PYTHON ?= python
 
-.PHONY: check test perf-gate bench bench-suite
+.PHONY: check test perf-gate coverage bench bench-suite
 
-check: test perf-gate
+check: test perf-gate coverage
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 # Validates the speedups recorded in BENCH_hotpath.json (runs no
-# benches); fails loudly when any has regressed below 1.0x.  Re-measure
-# with `make bench` after perf-relevant changes.
+# benches); fails loudly when any has regressed below its floor (1.0x,
+# or 2.0x for the sharded-detection bench) or when the sharded benches
+# are missing.  Re-measure with `make bench` after perf-relevant changes.
 perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --check
+
+# Line-coverage floor for the detection and sharding engines, measured
+# with the stdlib trace module (no dependency; ~40s).  Per-file table:
+# `python tools/coverage_gate.py --report`.
+coverage:
+	PYTHONPATH=src $(PYTHON) tools/coverage_gate.py
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py

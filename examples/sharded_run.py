@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Sharded, out-of-core discovery and detection, end to end.
+
+This walkthrough writes a synthetic dirty dataset to a CSV file, streams
+it back in bounded-memory chunks straight into a ``ShardedTable`` (the
+whole document is never parsed in one piece), runs sharded discovery and
+detection through the session layer, and verifies both against a
+monolithic run — the rule sets are identical and the violations
+canonically equal, which is the sharding subsystem's contract (see
+docs/PERFORMANCE.md, "Sharded execution").
+
+Run with::
+
+    PYTHONPATH=src python examples/sharded_run.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.anmat.session import AnmatSession
+from repro.datagen import generate_zip_city_state
+from repro.dataset.csvio import read_csv_sharded, write_csv
+from repro.discovery.config import DiscoveryConfig
+
+SHARD_ROWS = 500
+
+
+def main() -> None:
+    dataset = generate_zip_city_state(n_rows=4000, seed=11)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "zips.csv"
+        write_csv(dataset.table, path)
+        print(f"wrote {dataset.table.n_rows} rows "
+              f"({len(dataset.error_cells)} injected errors) to {path.name}\n")
+
+        # -- stream the CSV chunk-wise into shards -----------------------
+        sharded = read_csv_sharded(path, shard_rows=SHARD_ROWS)
+        print(f"streamed into {sharded.n_shards} shards of <= {SHARD_ROWS} rows "
+              f"(peak parse memory: one shard)")
+
+        # -- sharded discovery + detection through the session -----------
+        session = AnmatSession(
+            dataset_name="zips",
+            config=DiscoveryConfig(shard_rows=SHARD_ROWS),
+        )
+        session.load_table(sharded)
+        session.run_discovery()
+        session.confirm_all()
+        report = session.run_detection()
+        print(f"\nsharded run: {len(session.discovered_pfds())} PFDs, "
+              f"{len(report)} violations over {len(report.suspect_rows())} "
+              f"suspect rows (strategy={report.strategy})")
+
+        # -- the contract: identical to a monolithic run ------------------
+        monolithic = AnmatSession(dataset_name="zips")
+        monolithic.load_table(sharded.to_table())
+        monolithic.run_discovery()
+        monolithic.confirm_all()
+        mono_report = monolithic.run_detection()
+
+        same_rules = [p.describe() for p in session.discovered_pfds()] == [
+            p.describe() for p in monolithic.discovered_pfds()
+        ]
+        same_violations = (
+            report.canonical_violations() == mono_report.canonical_violations()
+        )
+        print(f"\nidentical rule set:       {same_rules}")
+        print(f"canonically equal output: {same_violations}")
+        assert same_rules and same_violations
+
+        # -- the edit loop still works after a sharded run ----------------
+        suggestions = session.repair_suggestions()
+        if suggestions:
+            session.apply_repair(suggestions[0])
+            print(f"\napplied one repair through the (monolithic) edit loop "
+                  f"→ {len(session.violations)} violations remain; the next "
+                  f"full re-check re-shards the edited table")
+
+
+if __name__ == "__main__":
+    main()

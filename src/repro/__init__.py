@@ -15,6 +15,9 @@ implements the full system described in the paper:
 * :mod:`repro.discovery` — the Discover-PFDs algorithm (Figure 2).
 * :mod:`repro.detection` — error detection with constant and variable
   PFDs, pattern indexes, and blocking.
+* :mod:`repro.sharding` — sharded, out-of-core discovery and detection
+  over mergeable per-shard statistics, canonically equal to a
+  monolithic run.
 * :mod:`repro.baselines` — FD/CFD discovery and detection plus a
   pattern-outlier detector, used for comparison experiments.
 * :mod:`repro.anmat` — the end-to-end ANMAT workflow (project store,
@@ -43,6 +46,7 @@ from repro.constrained import ConstrainedPattern
 from repro.pfd import PFD, EmbeddedFD, PatternTableau, TableauRow, WILDCARD
 from repro.discovery import DiscoveryConfig, PfdDiscoverer
 from repro.detection import ErrorDetector, Violation
+from repro.sharding import ShardedDetector, ShardedDiscoverer, ShardedTable
 from repro.anmat import AnmatSession
 
 __all__ = [
@@ -61,6 +65,9 @@ __all__ = [
     "PfdDiscoverer",
     "ErrorDetector",
     "Violation",
+    "ShardedDetector",
+    "ShardedDiscoverer",
+    "ShardedTable",
     "AnmatSession",
 ]
 

@@ -20,7 +20,7 @@ from typing import List, Optional
 
 from repro.anmat.report import render_discovered_pfds, render_profile, render_violations
 from repro.anmat.session import AnmatSession
-from repro.dataset.csvio import read_csv
+from repro.dataset.csvio import read_csv, read_csv_sharded
 from repro.datagen.registry import build_dataset, dataset_names
 from repro.discovery.config import DiscoveryConfig
 from repro.metrics.evaluation import evaluate_report
@@ -33,8 +33,16 @@ EXIT_VIOLATIONS_FOUND = 3
 
 
 def _load_table(args: argparse.Namespace):
-    """Return (table, ground_truth_or_None, label) from CLI arguments."""
+    """Return (table, ground_truth_or_None, label) from CLI arguments.
+
+    With ``--shard-rows`` a CSV upload is streamed through the chunked
+    reader straight into shards — the whole document is never parsed in
+    one piece — and discovery/detection run shard-wise.
+    """
+    shard_rows = getattr(args, "shard_rows", 0)
     if args.csv:
+        if shard_rows > 0:
+            return read_csv_sharded(Path(args.csv), shard_rows), None, Path(args.csv).stem
         return read_csv(Path(args.csv)), None, Path(args.csv).stem
     dataset = build_dataset(args.dataset)
     return dataset.table, dataset.error_cells, dataset.name
@@ -44,6 +52,7 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
     config = DiscoveryConfig(
         min_coverage=args.min_coverage,
         allowed_violation_ratio=args.allowed_violations,
+        shard_rows=getattr(args, "shard_rows", 0),
     )
     session = AnmatSession(dataset_name=label, config=config)
     session.load_table(table)
@@ -71,6 +80,26 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         default=0.05,
         help="allowed violation ratio (the paper's dirty-data tolerance)",
     )
+    parser.add_argument(
+        "--shard-rows",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help=(
+            "run sharded: partition the dataset into shards of N rows "
+            "(CSV uploads are streamed chunk-wise) and route discovery "
+            "and detection through the sharding subsystem; results are "
+            "identical to a monolithic run (0 = monolithic, the default)"
+        ),
+    )
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--shard-rows``: a non-negative integer."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:

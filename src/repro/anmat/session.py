@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.anmat.project import Project
 from repro.dataset.profiling import TableProfile, profile_table
@@ -32,6 +32,9 @@ from repro.discovery.config import DiscoveryConfig
 from repro.discovery.discoverer import DiscoveryResult, PfdDiscoverer
 from repro.errors import ProjectError
 from repro.pfd.pfd import PFD
+from repro.sharding.detection import ShardedDetector
+from repro.sharding.discovery import ShardedDiscoverer
+from repro.sharding.sharded_table import ShardedTable
 
 
 class SessionState(enum.Enum):
@@ -62,22 +65,38 @@ class AnmatSession:
     _detection_rules: List[PFD] = field(default_factory=list, repr=False)
     _detection_strategy: str = field(default=DetectionStrategy.AUTO, repr=False)
     _incremental: Optional[IncrementalDetector] = field(default=None, repr=False)
+    #: the sharded view driving sharded execution (see ``config.shard_rows``)
+    _sharded: Optional[ShardedTable] = field(default=None, repr=False)
+    _sharded_version: Optional[int] = field(default=None, repr=False)
 
     # -- step 1: load ------------------------------------------------------------
 
-    def load_table(self, table: Table) -> "AnmatSession":
+    def load_table(self, table: Union["Table", "ShardedTable"]) -> "AnmatSession":
         """Attach ("upload") the dataset to the session.
+
+        A :class:`ShardedTable` (e.g. from the chunked CSV reader) is
+        accepted too: the session keeps the sharded view for the sharded
+        execution paths and materializes the logical table (cell refs
+        shared with the shards) for everything else — profiling views,
+        repairs, and the edit loop stay monolithic.
 
         Any edit loop over a previously loaded table is dropped — its
         detector would otherwise keep mutating the *old* table.
         """
-        self.table = table
+        if isinstance(table, ShardedTable):
+            self._sharded = table
+            self.table = table.to_table()
+            self._sharded_version = self.table.version
+        else:
+            self.table = table
+            self._sharded = None
+            self._sharded_version = None
         self.violations = None
         self._detection_rules = []
         self._incremental = None
         self.state = SessionState.LOADED
         if self.project is not None:
-            self.project.add_dataset(self.dataset_name, table)
+            self.project.add_dataset(self.dataset_name, self.table)
         return self
 
     def set_parameters(
@@ -107,14 +126,23 @@ class AnmatSession:
     # -- step 3: discover -------------------------------------------------------------
 
     def run_discovery(self) -> DiscoveryResult:
-        """Extract PFDs from the dataset (the Figure 4 view)."""
+        """Extract PFDs from the dataset (the Figure 4 view).
+
+        With ``config.shard_rows > 0`` (or a sharded upload) discovery
+        runs through the sharding subsystem — per-shard statistics,
+        merged rule set, identical results to the monolithic path.
+        """
         self._require_table()
         if self.profile is None:
             self.run_profiling()
-        discoverer = PfdDiscoverer(self.config)
-        self.discovery = discoverer.discover_with_report(
-            self.table, relation=self.dataset_name
-        )
+        if self._use_sharded():
+            self.discovery = ShardedDiscoverer(self.config).discover_with_report(
+                self._sharded_view(), relation=self.dataset_name
+            )
+        else:
+            self.discovery = PfdDiscoverer(self.config).discover_with_report(
+                self.table, relation=self.dataset_name
+            )
         # By default every discovered dependency is pending confirmation,
         # and any report/edit loop over the previous rule set is dropped.
         self.confirmed_names = []
@@ -175,16 +203,33 @@ class AnmatSession:
         strategy: str = DetectionStrategy.AUTO,
         pfds: Optional[Sequence[PFD]] = None,
     ) -> ViolationReport:
-        """Run the confirmed PFDs over the data (the Figure 5 view)."""
+        """Run the confirmed PFDs over the data (the Figure 5 view).
+
+        With ``config.shard_rows > 0`` (or a sharded upload) and the
+        default ``auto`` strategy, detection runs shard-parallel through
+        :class:`ShardedDetector` (canonically equal violations); an
+        explicitly requested strategy always runs the monolithic engine
+        it names.  The edit loop maintains violations monolithically
+        either way.
+        """
         self._require_table()
         rules = list(pfds) if pfds is not None else self.confirmed_pfds()
         if not rules:
             raise ProjectError(
                 "no confirmed PFDs to run; call run_discovery() and confirm() first"
             )
-        detector = ErrorDetector(self.table)
-        self.violations = detector.detect_all(rules, strategy=strategy)
+        if self._use_sharded() and strategy == DetectionStrategy.AUTO:
+            detector = ShardedDetector(
+                self._sharded_view(), n_workers=self.config.n_workers
+            )
+            self.violations = detector.detect_all(rules)
+        else:
+            self.violations = ErrorDetector(self.table).detect_all(
+                rules, strategy=strategy
+            )
         self._detection_rules = rules
+        # the edit loop's incremental detector understands the monolithic
+        # strategies only; ``auto`` is the right re-check for a sharded run
         self._detection_strategy = strategy
         self._incremental = None  # a fresh full run supersedes any edit loop
         self.state = SessionState.DETECTED
@@ -253,6 +298,26 @@ class AnmatSession:
             raise ProjectError(
                 f"session {self.dataset_name!r} has no table; call load_table() first"
             )
+
+    def _use_sharded(self) -> bool:
+        """Whether discovery/detection should route through the sharding
+        subsystem: opted in via ``config.shard_rows`` or by uploading a
+        :class:`ShardedTable`."""
+        return self.config.shard_rows > 0 or self._sharded is not None
+
+    def _sharded_view(self) -> ShardedTable:
+        """The sharded view of the current table, rebuilt when the table
+        was edited since the view was built (the edit loop mutates the
+        monolithic table, never the shards)."""
+        if self._sharded is not None and self._sharded_version == self.table.version:
+            return self._sharded
+        shard_rows = self.config.shard_rows
+        if shard_rows <= 0 and self._sharded is not None:
+            # sharded upload without an explicit knob: keep its shard size
+            shard_rows = max(shard.n_rows for shard in self._sharded.shards)
+        self._sharded = ShardedTable.from_table(self.table, max(1, shard_rows))
+        self._sharded_version = self.table.version
+        return self._sharded
 
     def _save_results(self) -> None:
         if self.project is None or self.violations is None:

@@ -9,7 +9,13 @@ type inference, and the column profiler that backs Figure 3 of the paper.
 
 from repro.dataset.schema import Attribute, DataType, Schema
 from repro.dataset.table import Table
-from repro.dataset.csvio import read_csv, read_csv_text, write_csv
+from repro.dataset.csvio import (
+    iter_csv_chunks,
+    read_csv,
+    read_csv_sharded,
+    read_csv_text,
+    write_csv,
+)
 from repro.dataset.inference import infer_column_type, infer_schema
 from repro.dataset.profiling import ColumnProfile, PatternStat, TableProfile, profile_table
 
@@ -18,7 +24,9 @@ __all__ = [
     "DataType",
     "Schema",
     "Table",
+    "iter_csv_chunks",
     "read_csv",
+    "read_csv_sharded",
     "read_csv_text",
     "write_csv",
     "infer_column_type",

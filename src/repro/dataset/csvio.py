@@ -4,6 +4,14 @@ The ANMAT demo lets users upload CSV datasets; this module is the
 equivalent ingestion path.  It wraps the standard-library ``csv`` module
 and adds rectangularity checks, optional type inference, and symmetric
 writing so round-trips are lossless.
+
+Two reading modes are provided: :func:`read_csv` materializes the whole
+document at once, while :func:`iter_csv_chunks` streams the file in
+bounded-memory chunks — at no point is more than one chunk's rows (plus
+the ``csv`` module's single-record buffer) held — which is how the
+sharding subsystem ingests datasets larger than memory.  Both modes
+reject rows whose width differs from the header, reporting the
+offending physical line number.
 """
 
 from __future__ import annotations
@@ -11,7 +19,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, TextIO, Union
 
 from repro.dataset.inference import infer_schema
 from repro.dataset.schema import Schema
@@ -44,27 +52,17 @@ def read_csv_text(
         Whether to run type inference and attach dtypes to the schema.
     """
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
-    rows = [row for row in reader]
-    if not rows:
-        raise CsvFormatError("CSV document contains no rows")
-    if header:
-        header_row, data_rows = rows[0], rows[1:]
-    else:
-        header_row, data_rows = None, rows
-    if column_names is not None:
-        names = list(column_names)
-    elif header_row is not None:
-        names = [name.strip() for name in header_row]
-    else:
-        raise CsvFormatError("header=False requires explicit column_names")
-    if len(set(names)) != len(names):
-        raise CsvFormatError(f"duplicate column names in CSV header: {names}")
+    names = _resolve_column_names(reader, header, column_names)
     width = len(names)
-    for line_number, row in enumerate(data_rows, start=2 if header else 1):
+    data_rows = []
+    for row in reader:
         if len(row) != width:
             raise CsvFormatError(
-                f"line {line_number} has {len(row)} fields, expected {width}"
+                f"line {reader.line_num} has {len(row)} fields, expected {width}"
             )
+        data_rows.append(row)
+    if not header and not data_rows:
+        raise CsvFormatError("CSV document contains no rows")
     table = Table.from_rows(names, data_rows)
     if infer_types:
         table = table.with_schema(infer_schema(table))
@@ -87,6 +85,119 @@ def read_csv(
         header=header,
         column_names=column_names,
         infer_types=infer_types,
+    )
+
+
+def _resolve_column_names(
+    reader,
+    header: bool,
+    column_names: Optional[Sequence[str]],
+) -> List[str]:
+    """Consume the header row (when present) and return the column names.
+
+    The one place name precedence (explicit ``column_names`` beats the
+    header row) and the duplicate-name check live — shared by the
+    monolithic and chunked readers so they cannot drift."""
+    header_row: Optional[List[str]] = None
+    if header:
+        header_row = next(reader, None)
+        if header_row is None:
+            raise CsvFormatError("CSV document contains no rows")
+    if column_names is not None:
+        names = list(column_names)
+    elif header_row is not None:
+        names = [name.strip() for name in header_row]
+    else:
+        raise CsvFormatError("header=False requires explicit column_names")
+    if len(set(names)) != len(names):
+        raise CsvFormatError(f"duplicate column names in CSV header: {names}")
+    return names
+
+
+def iter_csv_chunks(
+    source: Union[str, Path, TextIO],
+    chunk_rows: int,
+    delimiter: str = ",",
+    header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+    encoding: str = "utf-8",
+) -> Iterator[Table]:
+    """Stream a CSV document as a sequence of ``chunk_rows``-row tables.
+
+    The file is read incrementally: at most one chunk's rows are held in
+    memory at a time, so arbitrarily large documents can be ingested
+    with bounded memory.  Every yielded chunk shares the same schema;
+    the last chunk may be shorter, and an empty document (header only,
+    or nothing at all with explicit ``column_names``) yields one
+    zero-row chunk so consumers always see the schema.
+
+    Rows whose width differs from the header are rejected with a
+    :class:`~repro.errors.CsvFormatError` naming the offending physical
+    line (the ``csv`` module's line counter, so multi-line quoted
+    records are attributed correctly) — a short row is an error, never
+    silently padded or truncated.
+
+    ``source`` may be a path or an open text stream (which is *not*
+    closed).
+    """
+    if chunk_rows < 1:
+        raise CsvFormatError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if isinstance(source, (str, Path)):
+        with Path(source).open("r", newline="", encoding=encoding) as handle:
+            yield from _iter_chunks_from(handle, chunk_rows, delimiter, header, column_names)
+    else:
+        yield from _iter_chunks_from(source, chunk_rows, delimiter, header, column_names)
+
+
+def _iter_chunks_from(
+    handle: TextIO,
+    chunk_rows: int,
+    delimiter: str,
+    header: bool,
+    column_names: Optional[Sequence[str]],
+) -> Iterator[Table]:
+    reader = csv.reader(handle, delimiter=delimiter)
+    names = _resolve_column_names(reader, header, column_names)
+    width = len(names)
+    yielded = False
+    buffer: List[List[str]] = []
+    for row in reader:
+        if len(row) != width:
+            raise CsvFormatError(
+                f"line {reader.line_num} has {len(row)} fields, expected {width}"
+            )
+        buffer.append(row)
+        if len(buffer) >= chunk_rows:
+            yield Table.from_rows(names, buffer)
+            yielded = True
+            buffer = []
+    if buffer or not yielded:
+        yield Table.from_rows(names, buffer)
+
+
+def read_csv_sharded(
+    source: Union[str, Path, TextIO],
+    shard_rows: int,
+    delimiter: str = ",",
+    header: bool = True,
+    column_names: Optional[Sequence[str]] = None,
+    encoding: str = "utf-8",
+):
+    """Stream a CSV document straight into a
+    :class:`~repro.sharding.sharded_table.ShardedTable` — each chunk is
+    parsed and sealed into its own shard, so peak memory during parsing
+    is one shard, not the whole document."""
+    from repro.sharding.sharded_table import ShardedTable
+
+    return ShardedTable.from_chunks(
+        iter_csv_chunks(
+            source,
+            shard_rows,
+            delimiter=delimiter,
+            header=header,
+            column_names=column_names,
+            encoding=encoding,
+        )
     )
 
 

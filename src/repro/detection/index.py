@@ -27,6 +27,33 @@ from repro.patterns.pattern import Pattern
 from repro.perf.memo import MatchMemo, MATCH_MEMO
 
 
+def narrow_candidates_by_prefix(
+    sorted_values: Sequence[str],
+    pattern: Union[Pattern, ConstrainedPattern],
+) -> Sequence[str]:
+    """Distinct values (from an ascending list) that could match the
+    pattern, narrowed to the slice sharing its literal prefix.
+
+    Shared by :class:`PatternColumnIndex` and the sharded engine's merged
+    distinct-value statistics: patterns with a literal prefix
+    (``850\\D{7}``) are answered with two binary searches, so only values
+    starting with the prefix are regex-tested.
+    """
+    prefix = ""
+    if isinstance(pattern, Pattern):
+        prefix = pattern.literal_prefix()
+    elif isinstance(pattern, ConstrainedPattern):
+        prefix = pattern.segments[0].pattern.literal_prefix()
+    if not prefix:
+        return sorted_values
+    low = bisect.bisect_left(sorted_values, prefix)
+    # The upper bound is the prefix with its last character bumped —
+    # every string starting with the prefix sorts below it.
+    upper_key = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+    high = bisect.bisect_left(sorted_values, upper_key)
+    return sorted_values[low:high]
+
+
 class PatternColumnIndex:
     """An index over one column answering "which rows match this pattern?"."""
 
@@ -60,22 +87,9 @@ class PatternColumnIndex:
 
     # -- lookups -----------------------------------------------------------------
 
-    def _candidate_values(self, pattern: Union[Pattern, ConstrainedPattern]) -> List[str]:
+    def _candidate_values(self, pattern: Union[Pattern, ConstrainedPattern]) -> Sequence[str]:
         """Distinct values that could match, narrowed by literal prefix."""
-        prefix = ""
-        if isinstance(pattern, Pattern):
-            prefix = pattern.literal_prefix()
-        elif isinstance(pattern, ConstrainedPattern):
-            first = pattern.segments[0].pattern
-            prefix = first.literal_prefix()
-        if not prefix:
-            return self._sorted_values
-        low = bisect.bisect_left(self._sorted_values, prefix)
-        # The upper bound is the prefix with its last character bumped —
-        # every string starting with the prefix sorts below it.
-        upper_key = prefix[:-1] + chr(ord(prefix[-1]) + 1)
-        high = bisect.bisect_left(self._sorted_values, upper_key)
-        return self._sorted_values[low:high]
+        return narrow_candidates_by_prefix(self._sorted_values, pattern)
 
     def matching_values(
         self,

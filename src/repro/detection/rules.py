@@ -166,7 +166,7 @@ class ConstantRuleEvaluator:
             expected_value=self.expected,
         )
 
-    # -- batch entry point -----------------------------------------------------
+    # -- batch entry points ----------------------------------------------------
 
     def emit_full(
         self,
@@ -188,6 +188,33 @@ class ConstantRuleEvaluator:
             if self.rhs_satisfied(memo, observed):
                 continue
             yield self.make_violation(row, observed)
+
+    def emit_value_groups(
+        self,
+        value_groups: Iterable[Tuple[str, Sequence[int]]],
+        memo: MatchMemo,
+        report: Optional[ViolationReport] = None,
+    ) -> Iterator[Violation]:
+        """Violations among in-scope rows pre-grouped by their RHS value.
+
+        ``value_groups`` yields ``(observed RHS value, rows holding it)``
+        pairs covering the rows whose LHS satisfies the rule.  The RHS
+        check runs once per *group* instead of once per row — the shape
+        the sharded engine feeds from its merged distinct-value
+        statistics — and the emitted violations are exactly
+        :meth:`emit_full`'s for the union of the groups' rows.
+
+        With a ``report`` each group counts one check into the
+        ``comparisons`` statistic (the sharded engine's cost model is
+        distinct-value-level, not row-level).
+        """
+        for observed, rows in value_groups:
+            if report is not None:
+                report.comparisons += 1
+            if self.rhs_satisfied(memo, observed):
+                continue
+            for row in rows:
+                yield self.make_violation(row, observed)
 
     # -- incremental state hooks -----------------------------------------------
 
@@ -268,11 +295,24 @@ class VariableRuleEvaluator:
         the majority's first row as witness."""
         if len(rows) < 2:
             return []
-        groups = split_block_by_rhs(rows, rhs_values)
+        return self.violations_for_groups(split_block_by_rhs(rows, rhs_values))
+
+    def violations_for_groups(
+        self, groups: Mapping[str, Sequence[int]]
+    ) -> List[Violation]:
+        """One block's violations from its pre-split ``RHS value → rows``
+        groups.
+
+        The semantic core shared by :meth:`block_violations_for` (which
+        splits an in-order row list) and the sharded engine (which merges
+        per-shard groups whose concatenated row lists are not globally
+        sorted — hence the witness is ``min()`` of the majority group,
+        which equals "first row" whenever the lists are ascending).
+        """
         if len(groups) < 2:
             return []
         majority = majority_value(groups)
-        witness = groups[majority][0]
+        witness = min(groups[majority])
         violations: List[Violation] = []
         for value, value_rows in groups.items():
             if value == majority:

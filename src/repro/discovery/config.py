@@ -50,10 +50,17 @@ class DiscoveryConfig:
     max_candidate_columns:
         Safety valve for very wide tables.
     n_workers:
-        Opt-in parallelism for the candidate-mining stage.  ``0`` or
-        ``1`` mine serially; ``>1`` fans the (embarrassingly parallel)
-        candidate dependencies out over ``concurrent.futures`` workers.
+        Opt-in parallelism.  ``0`` or ``1`` run serially; ``>1`` fans
+        embarrassingly parallel stages out over ``concurrent.futures``
+        workers — the candidate-mining stage of monolithic discovery,
+        and the per-shard statistic extraction of the sharded engines.
         Results are byte-identical to the serial path.
+    shard_rows:
+        Opt-in sharded execution.  ``0`` runs monolithically; ``>0``
+        makes the session/CLI layer partition the dataset into shards of
+        this many rows and route discovery and detection through
+        :mod:`repro.sharding` (identical rule sets, canonically equal
+        violations).
     """
 
     min_coverage: float = 0.6
@@ -69,10 +76,13 @@ class DiscoveryConfig:
     max_candidate_columns: int = 24
     max_constrained_token_position: int = 3
     n_workers: int = 0
+    shard_rows: int = 0
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise DiscoveryError(f"n_workers must be >= 0, got {self.n_workers}")
+        if self.shard_rows < 0:
+            raise DiscoveryError(f"shard_rows must be >= 0, got {self.shard_rows}")
         if not 0.0 <= self.min_coverage <= 1.0:
             raise DiscoveryError(f"min_coverage must be in [0, 1], got {self.min_coverage}")
         if not 0.0 <= self.allowed_violation_ratio < 1.0:

@@ -126,23 +126,8 @@ class PfdDiscoverer:
                 reports = self._mine_parallel(table, candidates)
             else:
                 reports = self._mine_serial(table, candidates)
-        pfds: List[PFD] = []
-        counter = 0
         with self.timers.stage("assemble"):
-            for candidate, report in zip(candidates, reports):
-                if not report.accepted:
-                    continue
-                if self.config.discover_constant and report.constant_candidates:
-                    counter += 1
-                    pfds.append(
-                        self._build_constant_pfd(candidate, report, counter, relation)
-                    )
-                if self.config.discover_variable:
-                    for variable in report.variable_candidates:
-                        counter += 1
-                        pfds.append(
-                            self._build_variable_pfd(candidate, variable, counter, relation)
-                        )
+            pfds = self.assemble_pfds(candidates, reports, relation)
         elapsed = time.perf_counter() - started
         return DiscoveryResult(
             pfds=pfds,
@@ -151,6 +136,37 @@ class PfdDiscoverer:
             config=self.config,
             elapsed_seconds=elapsed,
         )
+
+    def assemble_pfds(
+        self,
+        candidates: Sequence[CandidateDependency],
+        reports: Sequence[DependencyReport],
+        relation: Optional[str] = None,
+    ) -> List[PFD]:
+        """Package accepted per-candidate reports into named PFD objects.
+
+        Shared by the monolithic pipeline above and the sharded
+        discoverer (which mines the same reports from merged per-shard
+        statistics) so both produce identically named, identically
+        ordered rule sets.
+        """
+        pfds: List[PFD] = []
+        counter = 0
+        for candidate, report in zip(candidates, reports):
+            if not report.accepted:
+                continue
+            if self.config.discover_constant and report.constant_candidates:
+                counter += 1
+                pfds.append(
+                    self._build_constant_pfd(candidate, report, counter, relation)
+                )
+            if self.config.discover_variable:
+                for variable in report.variable_candidates:
+                    counter += 1
+                    pfds.append(
+                        self._build_variable_pfd(candidate, variable, counter, relation)
+                    )
+        return pfds
 
     # -- per-candidate mining ---------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Sharded, out-of-core discovery and detection.
+
+The sharding subsystem partitions a dataset into row shards
+(:class:`ShardedTable`), extracts mergeable per-shard sufficient
+statistics (:mod:`repro.sharding.stats`), and runs discovery
+(:class:`ShardedDiscoverer`) and detection (:class:`ShardedDetector`)
+over the merged statistics — producing rule sets and violations
+canonically equal to a monolithic run while keeping every per-shard
+stage bounded by the shard size and fan-out-ready for worker processes.
+"""
+
+from repro.sharding.detection import SHARDED_STRATEGY, ShardedDetector
+from repro.sharding.discovery import ShardedDiscoverer
+from repro.sharding.sharded_table import ShardedTable
+from repro.sharding.stats import (
+    MergedPairGroups,
+    extract_pair_groups,
+    merge_pair_groups,
+    merge_tokenizations,
+)
+
+__all__ = [
+    "SHARDED_STRATEGY",
+    "ShardedDetector",
+    "ShardedDiscoverer",
+    "ShardedTable",
+    "MergedPairGroups",
+    "extract_pair_groups",
+    "merge_pair_groups",
+    "merge_tokenizations",
+]

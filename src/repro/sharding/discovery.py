@@ -1,0 +1,175 @@
+"""Sharded PFD discovery: per-shard statistics, one merged rule set.
+
+Discovery over a :class:`~repro.sharding.sharded_table.ShardedTable`
+extracts the expensive per-shard statistics — the single-pass column
+tokenizations of Figure 2's inverted-list build — shard by shard
+(optionally on worker processes), merges them by concatenation, and runs
+the unchanged miners and decision function on the merged statistics.
+Because merging reproduces the monolithic tokenization exactly (global
+tuple ids are shard offset + local row, which is where concatenation
+puts them), the discovered rule set is *identical* to a single-shard
+run: same candidates, same inverted-entry support counts, same accepted
+tableaux, same PFD names and order.  The differential suite in
+``tests/sharding`` asserts this across generators and shard sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.profiling import TableProfile, profile_column
+from repro.discovery.candidates import CandidateDependency, candidate_dependencies
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.decision import DecisionFunction
+from repro.discovery.discoverer import (
+    DiscoveryResult,
+    PfdDiscoverer,
+    _mine_candidate_values,
+)
+from repro.discovery.inverted_index import ColumnTokenization
+from repro.pfd.pfd import PFD
+from repro.sharding.sharded_table import ShardedTable
+from repro.sharding.stats import merge_tokenizations
+
+
+class ShardedDiscoverer:
+    """Discovers PFDs from a sharded table, shard by shard."""
+
+    def __init__(
+        self,
+        config: Optional[DiscoveryConfig] = None,
+        decision: Optional[DecisionFunction] = None,
+    ):
+        #: the monolithic driver supplies the miners, the decision
+        #: function, and the assemble stage — one pipeline, two feeders
+        self.discoverer = PfdDiscoverer(config, decision)
+        self.config = self.discoverer.config
+
+    def discover(self, sharded: ShardedTable, relation: Optional[str] = None) -> List[PFD]:
+        """Discover PFDs and return just the PFD list."""
+        return self.discover_with_report(sharded, relation=relation).pfds
+
+    def discover_with_report(
+        self,
+        sharded: ShardedTable,
+        relation: Optional[str] = None,
+        candidates: Optional[Sequence[CandidateDependency]] = None,
+    ) -> DiscoveryResult:
+        """Run the full pipeline over shards and return PFDs plus stats."""
+        started = time.perf_counter()
+        timers = self.discoverer.timers
+        with timers.stage("profile"):
+            profile = self._profile(sharded)
+        if candidates is None:
+            with timers.stage("candidates"):
+                candidates = candidate_dependencies(sharded, self.config, profile)
+        candidates = list(candidates)
+        with timers.stage("mine"):
+            reports = self._mine_merged(sharded, candidates)
+        with timers.stage("assemble"):
+            pfds = self.discoverer.assemble_pfds(candidates, reports, relation)
+        return DiscoveryResult(
+            pfds=pfds,
+            reports=reports,
+            profile=profile,
+            config=self.config,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # -- merged statistics --------------------------------------------------------
+
+    def _profile(self, sharded: ShardedTable) -> TableProfile:
+        """Profile the logical table from the concatenated columns
+        (identical to ``profile_table`` on the monolithic table)."""
+        columns = {
+            name: profile_column(name, sharded.column_concat(name))
+            for name in sharded.column_names()
+        }
+        return TableProfile(n_rows=sharded.n_rows, columns=columns)
+
+    def _mine_merged(
+        self, sharded: ShardedTable, candidates: Sequence[CandidateDependency]
+    ) -> List:
+        """The Figure 2 loop over merged columns and merged tokenizations.
+
+        Mirrors ``PfdDiscoverer._mine_serial`` exactly, with the LHS
+        tokenization assembled from per-shard extractions instead of one
+        monolithic pass.
+        """
+        tokenizations: Dict[Tuple[str, str], ColumnTokenization] = {}
+        reports = []
+        for candidate in candidates:
+            tokenization = None
+            if self.config.discover_constant:
+                key = (candidate.lhs, candidate.lhs_mode)
+                tokenization = tokenizations.get(key)
+                if tokenization is None:
+                    tokenization = tokenizations[key] = self._merged_tokenization(
+                        sharded, candidate.lhs, candidate.lhs_mode
+                    )
+            reports.append(
+                _mine_candidate_values(
+                    candidate,
+                    sharded.column_concat(candidate.lhs),
+                    sharded.column_concat(candidate.rhs),
+                    self.config,
+                    self.discoverer.constant_miner,
+                    self.discoverer.variable_miner,
+                    tokenization=tokenization,
+                )
+            )
+        return reports
+
+    def _merged_tokenization(
+        self, sharded: ShardedTable, column: str, mode: str
+    ) -> ColumnTokenization:
+        """One column's tokenization, extracted shard by shard and merged
+        (cached on the sharded table until a shard mutates)."""
+        return sharded.merged_artifact(
+            ("merged_tokenization", column, mode, self.config.ngram_size),
+            lambda: self._extract_and_merge(sharded, column, mode),
+        )
+
+    def _extract_and_merge(
+        self, sharded: ShardedTable, column: str, mode: str
+    ) -> ColumnTokenization:
+        ngram_size = self.config.ngram_size
+        if self.config.n_workers > 1 and sharded.n_shards > 1:
+            shard_rows = self._extract_parallel(sharded, column, mode)
+        else:
+            # One distinct-value cache across shards: a value recurring in
+            # many shards is tokenized once, like the monolithic pass.
+            value_cache: Dict[str, tuple] = {}
+            shard_rows = [
+                ColumnTokenization.extract(
+                    shard.column_ref(column), mode, ngram_size, value_cache=value_cache
+                ).row_tokens
+                for _offset, shard in sharded.iter_shards()
+            ]
+        return merge_tokenizations(mode, ngram_size, shard_rows)
+
+    def _extract_parallel(
+        self, sharded: ShardedTable, column: str, mode: str
+    ) -> List[list]:
+        """Per-shard tokenization on worker processes (results return in
+        shard order; a broken pool degrades to the serial path)."""
+        payloads = [
+            (shard.column_ref(column), mode, self.config.ngram_size)
+            for _offset, shard in sharded.iter_shards()
+        ]
+        max_workers = min(self.config.n_workers, len(payloads))
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as executor:
+                return list(executor.map(_extract_shard_tokens, payloads))
+        except BrokenProcessPool:
+            return [_extract_shard_tokens(payload) for payload in payloads]
+
+
+def _extract_shard_tokens(payload) -> list:
+    """Worker entry point for the tokenization fan-out (module-level so
+    it is picklable by ``ProcessPoolExecutor``)."""
+    values, mode, ngram_size = payload
+    return ColumnTokenization.extract(values, mode, ngram_size).row_tokens

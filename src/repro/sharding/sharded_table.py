@@ -1,0 +1,182 @@
+"""A table partitioned into row shards.
+
+A :class:`ShardedTable` is the unit of work of the sharded execution
+engine: an ordered list of per-shard :class:`~repro.dataset.table.Table`
+objects whose vertical concatenation is the logical dataset.  Row
+identity is global — shard ``i`` owns the half-open global row range
+``[offsets[i], offsets[i] + shards[i].n_rows)`` — so per-shard derived
+statistics can carry *global* row ids and merge by plain concatenation.
+
+Shards are immutable by contract: the sharded engines cache merged
+statistics keyed by the shards' mutation versions, and the interactive
+edit loop stays on the monolithic table (see ``AnmatSession``).  A shard
+mutated behind our back is detected via :meth:`versions` and merged
+caches are invalidated, but no partial update is attempted.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.dataset.table import Table
+from repro.errors import TableError
+
+
+class ShardedTable:
+    """An ordered partition of one logical table into row shards."""
+
+    def __init__(self, shards: Sequence[Table]):
+        shards = list(shards)
+        if not shards:
+            raise TableError("a ShardedTable needs at least one shard")
+        names = shards[0].column_names()
+        for position, shard in enumerate(shards[1:], start=1):
+            if shard.column_names() != names:
+                raise TableError(
+                    f"shard {position} has columns {shard.column_names()}, "
+                    f"expected {names} (all shards must share one schema)"
+                )
+        self._shards: List[Table] = shards
+        offsets: List[int] = []
+        total = 0
+        for shard in shards:
+            offsets.append(total)
+            total += shard.n_rows
+        self._offsets = offsets
+        self._n_rows = total
+        #: merged-artifact cache: key → (shard versions at build time, artifact)
+        self._merged_cache: Dict[Hashable, Tuple[Tuple[int, ...], object]] = {}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, shard_rows: int) -> "ShardedTable":
+        """Partition an in-memory table into shards of ``shard_rows`` rows
+        (the last shard may be shorter).  A zero-row table becomes one
+        empty shard."""
+        if shard_rows < 1:
+            raise TableError(f"shard_rows must be >= 1, got {shard_rows}")
+        if table.n_rows == 0:
+            return cls([table.copy()])
+        shards = [
+            table.take(range(start, min(start + shard_rows, table.n_rows)))
+            for start in range(0, table.n_rows, shard_rows)
+        ]
+        return cls(shards)
+
+    @classmethod
+    def from_chunks(cls, chunks: Iterable[Table]) -> "ShardedTable":
+        """Seal an iterable of chunk tables (e.g. from the chunked CSV
+        reader) into a sharded table."""
+        return cls(list(chunks))
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def shards(self) -> List[Table]:
+        return list(self._shards)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return self._shards[0].n_columns
+
+    def column_names(self) -> List[str]:
+        return self._shards[0].column_names()
+
+    @property
+    def schema(self):
+        return self._shards[0].schema
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTable({self.column_names()}, n_rows={self._n_rows}, "
+            f"n_shards={self.n_shards})"
+        )
+
+    # -- row addressing --------------------------------------------------------
+
+    def offset_of(self, shard_index: int) -> int:
+        """The global row id of a shard's first row."""
+        return self._offsets[shard_index]
+
+    def global_row(self, shard_index: int, local_row: int) -> int:
+        return self._offsets[shard_index] + local_row
+
+    def locate(self, global_row: int) -> Tuple[int, int]:
+        """Map a global row id to ``(shard index, local row)``."""
+        if not 0 <= global_row < self._n_rows:
+            raise TableError(
+                f"row index {global_row} out of range [0, {self._n_rows})"
+            )
+        shard_index = bisect.bisect_right(self._offsets, global_row) - 1
+        return shard_index, global_row - self._offsets[shard_index]
+
+    def row(self, global_row: int) -> Tuple[str, ...]:
+        """One logical row as a tuple of values, in schema order."""
+        shard_index, local_row = self.locate(global_row)
+        return self._shards[shard_index].row(local_row)
+
+    def cell(self, global_row: int, name: str) -> str:
+        """The value of one logical cell."""
+        shard_index, local_row = self.locate(global_row)
+        return self._shards[shard_index].cell(local_row, name)
+
+    def iter_shards(self) -> Iterator[Tuple[int, Table]]:
+        """Yield ``(global offset, shard)`` pairs in row order."""
+        for offset, shard in zip(self._offsets, self._shards):
+            yield offset, shard
+
+    # -- merged views -----------------------------------------------------------
+
+    def column_concat(self, name: str) -> List[str]:
+        """One logical column as a single list (string refs, no copies of
+        the values themselves), cached until a shard version changes."""
+        return self.merged_artifact(
+            ("column_concat", name),
+            lambda: [
+                value
+                for shard in self._shards
+                for value in shard.column_ref(name)
+            ],
+        )
+
+    def to_table(self) -> Table:
+        """Materialize the logical table (cell refs are shared with the
+        shards; the column lists are fresh)."""
+        names = self.column_names()
+        return Table(self.schema, [self.column_concat(name) for name in names])
+
+    # -- merged-artifact caching -------------------------------------------------
+
+    def versions(self) -> Tuple[int, ...]:
+        """The shards' mutation counters — the staleness key for every
+        merged artifact."""
+        return tuple(shard.version for shard in self._shards)
+
+    def merged_artifact(self, key: Hashable, build) -> object:
+        """A cached cross-shard artifact, rebuilt when any shard mutated.
+
+        Merged statistics (concatenated columns, merged pair groups,
+        merged tokenizations) are pure functions of the shard contents;
+        caching them here lets repeated discovery/detection runs over the
+        same sharded table skip the merge entirely.
+        """
+        versions = self.versions()
+        entry = self._merged_cache.get(key)
+        if entry is not None and entry[0] == versions:
+            return entry[1]
+        artifact = build()
+        self._merged_cache[key] = (versions, artifact)
+        return artifact

@@ -1,0 +1,130 @@
+"""Mergeable per-shard sufficient statistics.
+
+The sharded engines never ship whole shards between pipeline stages;
+they extract small, *mergeable* statistics per shard and reduce them:
+
+* **pair groups** — for one ``(LHS, RHS)`` attribute pair, the nested map
+  ``LHS value → RHS value → [global row ids]``.  This is the sufficient
+  statistic of batch detection: constant rules need the rows per
+  (matching LHS value, observed RHS value), and variable rules derive
+  their cross-shard ``≡_Q`` blocks by projecting each distinct LHS value
+  once.  Merging is nested dict union with list concatenation; because
+  shards are reduced in row order, each ``(LHS value, RHS value)`` row
+  list stays ascending.
+
+* **shard tokenizations** — one shard's
+  :class:`~repro.discovery.inverted_index.ColumnTokenization` rows.
+  Merging is plain concatenation: global tuple ids are shard offset +
+  local row, which is exactly the position the concatenated list puts
+  them at, so the merged tokenization is byte-for-byte the monolithic
+  single-pass extraction.
+
+Both statistics are built from plain lists/dicts of strings and ints, so
+they cross process boundaries cheaply when the shard fan-out runs on
+``concurrent.futures`` workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.detection.index import narrow_candidates_by_prefix
+from repro.discovery.inverted_index import ColumnTokenization
+from repro.patterns.pattern import Pattern
+from repro.perf.memo import MatchMemo
+from repro.pfd.tableau import Wildcard
+
+#: LHS value → RHS value → ascending global row ids.
+PairGroups = Dict[str, Dict[str, List[int]]]
+
+
+def extract_pair_groups(
+    lhs_values: Sequence[str],
+    rhs_values: Sequence[str],
+    offset: int,
+) -> PairGroups:
+    """One shard's pair groups for one attribute pair, rows globalized by
+    ``offset`` (one pass over the shard)."""
+    groups: PairGroups = {}
+    for local_row, (lhs_value, rhs_value) in enumerate(zip(lhs_values, rhs_values)):
+        by_rhs = groups.get(lhs_value)
+        if by_rhs is None:
+            by_rhs = groups[lhs_value] = {}
+        rows = by_rhs.get(rhs_value)
+        if rows is None:
+            by_rhs[rhs_value] = [offset + local_row]
+        else:
+            rows.append(offset + local_row)
+    return groups
+
+
+def merge_pair_groups(shard_groups: Sequence[PairGroups]) -> "MergedPairGroups":
+    """Reduce per-shard pair groups (in shard order) into one merged
+    statistic.  Row lists concatenate ascending because every shard's
+    global ids exceed the previous shard's."""
+    merged: PairGroups = {}
+    for groups in shard_groups:
+        for lhs_value, by_rhs in groups.items():
+            merged_rhs = merged.get(lhs_value)
+            if merged_rhs is None:
+                merged[lhs_value] = {
+                    rhs_value: list(rows) for rhs_value, rows in by_rhs.items()
+                }
+                continue
+            for rhs_value, rows in by_rhs.items():
+                existing = merged_rhs.get(rhs_value)
+                if existing is None:
+                    merged_rhs[rhs_value] = list(rows)
+                else:
+                    existing.extend(rows)
+    return MergedPairGroups(merged)
+
+
+class MergedPairGroups:
+    """The cross-shard pair groups of one attribute pair, plus the sorted
+    distinct-LHS-value array that answers pattern lookups."""
+
+    __slots__ = ("groups", "sorted_values", "last_candidates_tested")
+
+    def __init__(self, groups: PairGroups):
+        self.groups = groups
+        self.sorted_values: List[str] = sorted(groups)
+        #: distinct values regex-tested by the last lookup (cost statistic)
+        self.last_candidates_tested = 0
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.sorted_values)
+
+    def matching_values(self, lhs_cell, memo: MatchMemo) -> List[str]:
+        """Distinct LHS values satisfying a rule's LHS cell.
+
+        Patterns are narrowed by literal prefix and memo-tested once per
+        distinct value (the same verdict store the monolithic index
+        uses); a plain-string cell is a dictionary hit; a wildcard cell
+        matches everything (as ``cell_matches`` defines).
+        """
+        if isinstance(lhs_cell, (Pattern, ConstrainedPattern)):
+            candidates = narrow_candidates_by_prefix(self.sorted_values, lhs_cell)
+            self.last_candidates_tested = len(candidates)
+            matches = memo.matcher(lhs_cell)
+            return [value for value in candidates if matches(value)]
+        if isinstance(lhs_cell, Wildcard):
+            self.last_candidates_tested = 0
+            return list(self.sorted_values)
+        self.last_candidates_tested = 1
+        return [lhs_cell] if lhs_cell in self.groups else []
+
+
+def merge_tokenizations(
+    mode: str,
+    ngram_size: int,
+    shard_row_tokens: Sequence[Sequence[Tuple[Tuple[str, int, str], ...]]],
+) -> ColumnTokenization:
+    """Concatenate per-shard tokenization rows into the monolithic
+    single-pass tokenization of the whole column."""
+    row_tokens: List[Tuple[Tuple[str, int, str], ...]] = []
+    for shard_rows in shard_row_tokens:
+        row_tokens.extend(shard_rows)
+    return ColumnTokenization(mode, ngram_size, row_tokens)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.anmat.cli import EXIT_CLEAN, EXIT_VIOLATIONS_FOUND, build_parser, main
+from repro.errors import CsvFormatError
 from repro.dataset.csvio import write_csv
 from repro.datagen import build_dataset
 
@@ -101,3 +102,76 @@ class TestCommands:
         assert main(["discover", "--csv", str(path)]) == 0
         out = capsys.readouterr().out
         assert "Discovered" in out
+
+
+class TestShardRows:
+    """The --shard-rows flag: sharded runs keep the documented exit-code
+    and stderr contracts and report the same violations."""
+
+    def test_flag_parses_and_rejects_negative(self):
+        args = build_parser().parse_args(["detect", "--shard-rows", "500"])
+        assert args.shard_rows == 500
+        with pytest.raises(SystemExit):  # argparse usage error, exit 2
+            build_parser().parse_args(["detect", "--shard-rows", "-1"])
+
+    def test_shard_size_one_smoke_run(self, capsys):
+        # the degenerate one-row-per-shard partition must still work
+        code = main(
+            [
+                "detect",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--shard-rows", "1",
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        out = capsys.readouterr().out
+        assert "strategy=sharded" in out
+
+    def test_sharded_detect_reports_same_violations_as_monolithic(
+        self, tmp_path, capsys
+    ):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        assert main(["detect", "--csv", str(path)]) == EXIT_VIOLATIONS_FOUND
+        monolithic = capsys.readouterr().out
+        code = main(["detect", "--csv", str(path), "--shard-rows", "32"])
+        assert code == EXIT_VIOLATIONS_FOUND
+        sharded = capsys.readouterr().out
+        # same violation count and suspects, different strategy label
+        assert monolithic.splitlines()[0].replace("auto", "sharded") == (
+            sharded.splitlines()[0]
+        )
+
+    def test_sharded_detect_exit_zero_on_clean_data(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "clean.csv"
+        write_csv(dataset.clean_table, path)
+        assert main(["detect", "--csv", str(path), "--shard-rows", "64"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_sharded_score_without_ground_truth_still_warns(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        code = main(["detect", "--csv", str(path), "--shard-rows", "32", "--score"])
+        assert code == EXIT_VIOLATIONS_FOUND
+        captured = capsys.readouterr()
+        assert "--score ignored" in captured.err
+
+    def test_sharded_csv_rejects_ragged_rows_with_line_number(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("zip,city\n90001,Los Angeles\n90002\n")
+        with pytest.raises(CsvFormatError, match="line 3"):
+            main(["detect", "--csv", str(path), "--shard-rows", "1"])
+
+    def test_sharded_discover_matches_monolithic_rules(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        assert main(["discover", "--csv", str(path)]) == 0
+        monolithic = capsys.readouterr().out
+        assert main(["discover", "--csv", str(path), "--shard-rows", "32"]) == 0
+        assert capsys.readouterr().out == monolithic

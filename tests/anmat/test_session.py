@@ -229,3 +229,80 @@ class TestProjectIntegration:
         assert project.load_dataset("d1").n_rows == small_phone_state.table.n_rows
         assert project.load_pfds("d1")
         assert project.load_results("d1")["n_violations"] == len(session.violations)
+
+
+class TestShardedSession:
+    """The config.shard_rows execution mode and sharded uploads."""
+
+    def _monolithic(self, dataset):
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(dataset.table.copy())
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        return session
+
+    def test_shard_rows_config_routes_through_sharded_engines(
+        self, small_zip_city_state
+    ):
+        mono = self._monolithic(small_zip_city_state)
+        session = AnmatSession(
+            dataset_name="d",
+            config=DiscoveryConfig(min_coverage=0.5, shard_rows=64),
+        )
+        session.load_table(small_zip_city_state.table.copy())
+        session.run_discovery()
+        assert [p.describe() for p in session.discovered_pfds()] == [
+            p.describe() for p in mono.discovered_pfds()
+        ]
+        session.confirm_all()
+        report = session.run_detection()
+        assert report.strategy == "sharded"
+        assert report.canonical_violations() == mono.violations.canonical_violations()
+
+    def test_sharded_upload_is_accepted(self, small_zip_city_state):
+        from repro.sharding import ShardedTable
+
+        mono = self._monolithic(small_zip_city_state)
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(ShardedTable.from_table(small_zip_city_state.table, 50))
+        assert session.table.n_rows == small_zip_city_state.table.n_rows
+        session.run_discovery()
+        session.confirm_all()
+        report = session.run_detection()
+        assert report.strategy == "sharded"
+        assert report.canonical_violations() == mono.violations.canonical_violations()
+
+    def test_explicit_strategy_overrides_sharding(self, small_zip_city_state):
+        session = AnmatSession(
+            dataset_name="explicit",
+            config=DiscoveryConfig(min_coverage=0.5, shard_rows=64),
+        )
+        session.load_table(small_zip_city_state.table.copy())
+        session.run_discovery()
+        session.confirm_all()
+        report = session.run_detection(strategy="scan")
+        assert report.strategy == "scan"
+
+    def test_edit_loop_works_after_sharded_detection(self, small_zip_city_state):
+        session = AnmatSession(
+            dataset_name="editable",
+            config=DiscoveryConfig(min_coverage=0.5, shard_rows=64),
+        )
+        session.load_table(small_zip_city_state.table.copy())
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        suggestions = session.repair_suggestions()
+        if not suggestions:
+            pytest.skip("no repair suggestions on this seed")
+        session.apply_repair(suggestions[0])
+        assert session.state is SessionState.EDITING
+        # the next sharded re-check sees the edited table, not stale shards
+        report = session.run_detection()
+        fresh = ErrorDetector(session.table).detect_all(session.confirmed_pfds())
+        assert report.canonical_violations() == fresh.canonical_violations()

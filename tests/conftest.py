@@ -5,6 +5,18 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite the golden snapshot files under tests/golden/ from the "
+            "current behaviour instead of comparing against them"
+        ),
+    )
+
 from repro.datagen import (
     build_dataset,
     generate_fullname_gender,

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.dataset.csvio import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.dataset.csvio import (
+    iter_csv_chunks,
+    read_csv,
+    read_csv_sharded,
+    read_csv_text,
+    to_csv_text,
+    write_csv,
+)
 from repro.dataset.schema import DataType
 from repro.dataset.table import Table
 from repro.errors import CsvFormatError
@@ -77,3 +84,84 @@ class TestRoundTrip:
         table = Table.from_rows(["a"], [["1"], ["2"]])
         path = write_csv(table, tmp_path / "no_header.csv", header=False)
         assert path.read_text().strip().splitlines() == ["1", "2"]
+
+
+class TestIterCsvChunks:
+    def write(self, tmp_path, text: str):
+        path = tmp_path / "doc.csv"
+        path.write_text(text)
+        return path
+
+    def test_streams_fixed_size_chunks(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n" + "".join(f"{i},{i}\n" for i in range(10)))
+        chunks = list(iter_csv_chunks(path, chunk_rows=4))
+        assert [c.n_rows for c in chunks] == [4, 4, 2]
+        assert all(c.column_names() == ["a", "b"] for c in chunks)
+        assert chunks[2].cell(1, "a") == "9"
+
+    def test_chunks_concatenate_to_the_monolithic_read(self, tmp_path):
+        path = self.write(tmp_path, SAMPLE)
+        merged = read_csv_sharded(path, shard_rows=2).to_table()
+        assert merged == read_csv(path, infer_types=False)
+
+    def test_header_only_yields_one_empty_chunk(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n")
+        chunks = list(iter_csv_chunks(path, chunk_rows=3))
+        assert [c.n_rows for c in chunks] == [0]
+        assert chunks[0].column_names() == ["a", "b"]
+
+    def test_short_row_is_rejected_with_its_line_number(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n1,2\n3\n4,5\n")
+        with pytest.raises(CsvFormatError, match=r"line 3 has 1 fields, expected 2"):
+            list(iter_csv_chunks(path, chunk_rows=10))
+
+    def test_long_row_is_rejected_with_its_line_number(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n1,2\n3,4,5\n")
+        with pytest.raises(CsvFormatError, match=r"line 3 has 3 fields, expected 2"):
+            list(iter_csv_chunks(path, chunk_rows=10))
+
+    def test_ragged_row_in_a_later_chunk_is_still_rejected(self, tmp_path):
+        # earlier complete chunks stream out before the error surfaces
+        path = self.write(tmp_path, "a,b\n1,2\n3,4\n5\n")
+        stream = iter_csv_chunks(path, chunk_rows=2)
+        first = next(stream)
+        assert first.n_rows == 2
+        with pytest.raises(CsvFormatError, match=r"line 4"):
+            next(stream)
+
+    def test_multi_line_quoted_record_reports_csv_line_number(self, tmp_path):
+        # the bad record spans physical lines 4-5; the reader attributes
+        # the error to the record's last physical line
+        path = self.write(tmp_path, 'a,b\n"x\ny",2\n"p\nq"\n')
+        with pytest.raises(CsvFormatError, match=r"line 5 has 1 fields"):
+            list(iter_csv_chunks(path, chunk_rows=10))
+
+    def test_empty_document_is_an_error(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(CsvFormatError, match="no rows"):
+            list(iter_csv_chunks(path, chunk_rows=2))
+
+    def test_duplicate_header_is_an_error(self, tmp_path):
+        path = self.write(tmp_path, "a,a\n1,2\n")
+        with pytest.raises(CsvFormatError, match="duplicate"):
+            list(iter_csv_chunks(path, chunk_rows=2))
+
+    def test_no_header_with_names_and_open_stream(self):
+        import io
+
+        stream = io.StringIO("1,2\n3,4\n5,6\n")
+        chunks = list(
+            iter_csv_chunks(stream, chunk_rows=2, header=False, column_names=["x", "y"])
+        )
+        assert [c.n_rows for c in chunks] == [2, 1]
+        assert not stream.closed
+
+    def test_invalid_chunk_rows_rejected(self, tmp_path):
+        path = self.write(tmp_path, SAMPLE)
+        with pytest.raises(CsvFormatError, match="chunk_rows"):
+            list(iter_csv_chunks(path, chunk_rows=0))
+
+    def test_read_csv_sharded_shard_layout(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n" + "".join(f"{i},{i}\n" for i in range(7)))
+        sharded = read_csv_sharded(path, shard_rows=3)
+        assert [s.n_rows for s in sharded.shards] == [3, 3, 1]
