@@ -13,14 +13,15 @@ test:
 
 # Validates the speedups recorded in BENCH_hotpath.json (runs no
 # benches); fails loudly when any has regressed below its floor (1.0x,
-# or 2.0x for the sharded-detection bench) or when the sharded benches
-# are missing.  Re-measure with `make bench` after perf-relevant changes.
+# or 2.0x for the sharded-detection and engine-parity benches) or when
+# a required bench is missing.  Re-measure with `make bench` after
+# perf-relevant changes.
 perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --check
 
-# Line-coverage floor for the detection and sharding engines, measured
-# with the stdlib trace module (no dependency; ~40s).  Per-file table:
-# `python tools/coverage_gate.py --report`.
+# Line-coverage floor for the detection, sharding, and execution
+# engines, measured with the stdlib trace module (no dependency; ~45s).
+# Per-file table: `python tools/coverage_gate.py --report`.
 coverage:
 	PYTHONPATH=src $(PYTHON) tools/coverage_gate.py
 

@@ -2,12 +2,16 @@
 """Sharded, out-of-core discovery and detection, end to end.
 
 This walkthrough writes a synthetic dirty dataset to a CSV file, streams
-it back in bounded-memory chunks straight into a ``ShardedTable`` (the
-whole document is never parsed in one piece), runs sharded discovery and
-detection through the session layer, and verifies both against a
-monolithic run — the rule sets are identical and the violations
-canonically equal, which is the sharding subsystem's contract (see
-docs/PERFORMANCE.md, "Sharded execution").
+it back in bounded-memory chunks straight into a spill-to-disk
+``ShardStore`` (the whole document is never parsed in one piece, and the
+shard copies live on disk behind a small LRU; the session still
+materializes one logical table for profiling and the edit loop), then
+runs discovery and detection through the session layer.  The session routes everything through the
+pluggable execution engine: the planner resolves each run into an
+``ExecutionPlan`` (printed below, like ``anmat --explain-plan``) and the
+sharded executor backend runs it.  A monolithic run verifies the
+engine's contract — identical rule sets, canonically equal violations
+(see docs/ARCHITECTURE.md).
 
 Run with::
 
@@ -19,8 +23,9 @@ from pathlib import Path
 
 from repro.anmat.session import AnmatSession
 from repro.datagen import generate_zip_city_state
-from repro.dataset.csvio import read_csv_sharded, write_csv
+from repro.dataset.csvio import write_csv
 from repro.discovery.config import DiscoveryConfig
+from repro.sharding import SpillToDiskShardStore
 
 SHARD_ROWS = 500
 
@@ -33,19 +38,22 @@ def main() -> None:
         print(f"wrote {dataset.table.n_rows} rows "
               f"({len(dataset.error_cells)} injected errors) to {path.name}\n")
 
-        # -- stream the CSV chunk-wise into shards -----------------------
-        sharded = read_csv_sharded(path, shard_rows=SHARD_ROWS)
-        print(f"streamed into {sharded.n_shards} shards of <= {SHARD_ROWS} rows "
-              f"(peak parse memory: one shard)")
-
-        # -- sharded discovery + detection through the session -----------
+        # -- stream the CSV chunk-wise into an on-disk shard store --------
         session = AnmatSession(
             dataset_name="zips",
             config=DiscoveryConfig(shard_rows=SHARD_ROWS),
         )
-        session.load_table(sharded)
+        store = SpillToDiskShardStore(Path(tmp) / "shards")
+        session.upload_csv(path, store=store)
+        print(f"streamed into {store.n_shards} shards of <= {SHARD_ROWS} rows, "
+              f"spilled to {store.directory.name}/ (peak parse memory: one shard)")
+
+        # -- the engine plans, the sharded backend executes ----------------
+        print()
+        print(session.plan_discovery().describe())
         session.run_discovery()
         session.confirm_all()
+        print(session.plan_detection().describe())
         report = session.run_detection()
         print(f"\nsharded run: {len(session.discovered_pfds())} PFDs, "
               f"{len(report)} violations over {len(report.suspect_rows())} "
@@ -53,10 +61,11 @@ def main() -> None:
 
         # -- the contract: identical to a monolithic run ------------------
         monolithic = AnmatSession(dataset_name="zips")
-        monolithic.load_table(sharded.to_table())
+        monolithic.load_table(session.table.copy())
         monolithic.run_discovery()
         monolithic.confirm_all()
         mono_report = monolithic.run_detection()
+        print(f"monolithic run planned as: backend={monolithic.last_plan.backend}")
 
         same_rules = [p.describe() for p in session.discovered_pfds()] == [
             p.describe() for p in monolithic.discovered_pfds()

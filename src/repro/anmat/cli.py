@@ -23,6 +23,7 @@ from repro.anmat.session import AnmatSession
 from repro.dataset.csvio import read_csv, read_csv_sharded
 from repro.datagen.registry import build_dataset, dataset_names
 from repro.discovery.config import DiscoveryConfig
+from repro.engine import REQUESTABLE_EXECUTORS
 from repro.metrics.evaluation import evaluate_report
 
 #: ``detect`` exit codes, distinct so shell pipelines can gate on clean
@@ -53,10 +54,23 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         min_coverage=args.min_coverage,
         allowed_violation_ratio=args.allowed_violations,
         shard_rows=getattr(args, "shard_rows", 0),
+        n_workers=getattr(args, "n_workers", 0),
     )
     session = AnmatSession(dataset_name=label, config=config)
     session.load_table(table)
     return session
+
+
+def _explain_plans(args: argparse.Namespace, *build_plans) -> None:
+    """Print the chosen execution plan(s) when ``--explain-plan`` is set.
+
+    Takes plan *builders* so nothing is planned (and no ``PlanWarning``
+    is emitted twice) when the flag is off.
+    """
+    if not getattr(args, "explain_plan", False):
+        return
+    for build in build_plans:
+        print(build().describe())
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -92,10 +106,42 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "identical to a monolithic run (0 = monolithic, the default)"
         ),
     )
+    parser.add_argument(
+        "--n-workers",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help=(
+            "fan embarrassingly parallel stages out over N worker "
+            "processes (candidate mining, per-rule detection, per-shard "
+            "extraction); results are identical to a serial run "
+            "(0 = serial, the default)"
+        ),
+    )
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine routing flags shared by ``discover`` and ``detect``."""
+    parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=list(REQUESTABLE_EXECUTORS),
+        help=(
+            "execution backend: 'auto' routes on --shard-rows/--n-workers "
+            "and the upload kind; 'serial', 'parallel' and 'sharded' force "
+            "a backend (results are identical across backends)"
+        ),
+    )
+    parser.add_argument(
+        "--explain-plan",
+        action="store_true",
+        help="print the chosen execution plan (backend, shard count, workers) before running",
+    )
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for ``--shard-rows``: a non-negative integer."""
+    """argparse type for ``--shard-rows``/``--n-workers``: a non-negative
+    integer."""
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
@@ -120,7 +166,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_discover(args: argparse.Namespace) -> int:
     table, _truth, label = _load_table(args)
     session = _make_session(table, label, args)
-    result = session.run_discovery()
+    _explain_plans(args, lambda: session.plan_discovery(args.executor))
+    result = session.run_discovery(executor=args.executor)
     print(render_discovered_pfds(result))
     return 0
 
@@ -128,9 +175,14 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 def _cmd_detect(args: argparse.Namespace) -> int:
     table, truth, label = _load_table(args)
     session = _make_session(table, label, args)
-    session.run_discovery()
+    _explain_plans(
+        args,
+        lambda: session.plan_discovery(args.executor),
+        lambda: session.plan_detection(strategy=args.strategy, executor=args.executor),
+    )
+    session.run_discovery(executor=args.executor)
     session.confirm_all()
-    report = session.run_detection(strategy=args.strategy)
+    report = session.run_detection(strategy=args.strategy, executor=args.executor)
     print(render_violations(report, table))
     if args.score:
         if truth is None:
@@ -164,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     discover = subparsers.add_parser("discover", help="discover PFDs (Figure 4)")
     _add_common_arguments(discover)
+    _add_execution_arguments(discover)
     discover.set_defaults(handler=_cmd_discover)
 
     detect = subparsers.add_parser(
@@ -180,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_common_arguments(detect)
+    _add_execution_arguments(detect)
     detect.add_argument(
         "--strategy",
         default="auto",

@@ -13,28 +13,43 @@ violation report *in place* through an
 :class:`~repro.detection.incremental.IncrementalDetector` instead of
 re-scanning the whole table — the session moves to ``EDITING`` and a
 :meth:`run_detection` (full re-check) returns it to ``DETECTED``.
+
+Discovery and detection are executed through the pluggable execution
+engine (:mod:`repro.engine`): the session builds an
+:class:`~repro.engine.plan.ExecutionPlan` from its config and upload
+kind and hands it to the matching backend — serial, process-parallel,
+or sharded — so the session itself carries no routing branches.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.anmat.project import Project
+from repro.dataset.csvio import iter_csv_chunks
 from repro.dataset.profiling import TableProfile, profile_table
 from repro.dataset.table import Table
-from repro.detection.detector import DetectionStrategy, ErrorDetector
+from repro.detection.detector import DetectionStrategy
 from repro.detection.incremental import IncrementalDetector
 from repro.detection.repair import RepairSuggestion, suggest_repairs
 from repro.detection.violation import ViolationReport
 from repro.discovery.config import DiscoveryConfig
-from repro.discovery.discoverer import DiscoveryResult, PfdDiscoverer
+from repro.discovery.discoverer import DiscoveryResult
+from repro.engine import (
+    DEFAULT_SHARD_ROWS,
+    DataSource,
+    ExecutionPlan,
+    build_executor,
+    plan_detection,
+    plan_discovery,
+)
 from repro.errors import ProjectError
 from repro.pfd.pfd import PFD
-from repro.sharding.detection import ShardedDetector
-from repro.sharding.discovery import ShardedDiscoverer
 from repro.sharding.sharded_table import ShardedTable
+from repro.sharding.store import InMemoryShardStore, ShardStore
 
 
 class SessionState(enum.Enum):
@@ -61,36 +76,37 @@ class AnmatSession:
     discovery: Optional[DiscoveryResult] = None
     confirmed_names: List[str] = field(default_factory=list)
     violations: Optional[ViolationReport] = None
+    #: the plan of the most recent discovery/detection run (``--explain-plan``
+    #: and tests introspect it)
+    last_plan: Optional[ExecutionPlan] = field(default=None, repr=False)
     #: the rules and strategy of the last run_detection, driving the edit loop
     _detection_rules: List[PFD] = field(default_factory=list, repr=False)
     _detection_strategy: str = field(default=DetectionStrategy.AUTO, repr=False)
     _incremental: Optional[IncrementalDetector] = field(default=None, repr=False)
-    #: the sharded view driving sharded execution (see ``config.shard_rows``)
-    _sharded: Optional[ShardedTable] = field(default=None, repr=False)
-    _sharded_version: Optional[int] = field(default=None, repr=False)
+    #: the dataset as the engine sees it: monolithic table + sharded view
+    _source: Optional[DataSource] = field(default=None, repr=False)
 
     # -- step 1: load ------------------------------------------------------------
 
     def load_table(self, table: Union["Table", "ShardedTable"]) -> "AnmatSession":
         """Attach ("upload") the dataset to the session.
 
-        A :class:`ShardedTable` (e.g. from the chunked CSV reader) is
-        accepted too: the session keeps the sharded view for the sharded
-        execution paths and materializes the logical table (cell refs
-        shared with the shards) for everything else — profiling views,
-        repairs, and the edit loop stay monolithic.
+        A :class:`ShardedTable` (e.g. from the chunked CSV reader, or
+        built over a spill-to-disk :class:`ShardStore`) is accepted too:
+        the session keeps the sharded view for the sharded execution
+        paths and materializes the logical table (cell refs shared with
+        the shards) for everything else — profiling views, repairs, and
+        the edit loop stay monolithic.
 
         Any edit loop over a previously loaded table is dropped — its
         detector would otherwise keep mutating the *old* table.
         """
         if isinstance(table, ShardedTable):
-            self._sharded = table
             self.table = table.to_table()
-            self._sharded_version = self.table.version
+            self._source = DataSource(self.table, sharded=table)
         else:
             self.table = table
-            self._sharded = None
-            self._sharded_version = None
+            self._source = DataSource(table)
         self.violations = None
         self._detection_rules = []
         self._incremental = None
@@ -98,6 +114,38 @@ class AnmatSession:
         if self.project is not None:
             self.project.add_dataset(self.dataset_name, self.table)
         return self
+
+    def upload_csv(
+        self,
+        path: Union[str, Path],
+        shard_rows: int = 0,
+        store: Optional[ShardStore] = None,
+        **csv_kwargs,
+    ) -> "AnmatSession":
+        """Stream a CSV upload chunk-wise into a shard store and load it.
+
+        The streaming-ingest entry point: :func:`iter_csv_chunks` parses
+        the document in bounded-memory chunks and each chunk is appended
+        to ``store`` as it arrives — with a
+        :class:`~repro.sharding.store.SpillToDiskShardStore` the *parse*
+        never holds more than one chunk (plus the store's small LRU) in
+        memory.  The closing :meth:`load_table` then materializes the
+        logical table for the session's monolithic consumers (profiling
+        views, repairs, the edit loop), so the session's resident
+        footprint is still one copy of the dataset's cell strings; what
+        the spill store bounds is the ingest path and the shard copies.
+        ``shard_rows`` falls back to ``config.shard_rows``, then to the
+        engine default; extra keyword arguments reach the CSV reader
+        (``delimiter``, ``header``, ``column_names``, ...).
+        """
+        if shard_rows <= 0:
+            shard_rows = self.config.shard_rows or DEFAULT_SHARD_ROWS
+        if store is None:
+            store = InMemoryShardStore()
+        sharded = ShardedTable.from_chunks(
+            iter_csv_chunks(path, shard_rows, **csv_kwargs), store=store
+        )
+        return self.load_table(sharded)
 
     def set_parameters(
         self,
@@ -125,24 +173,34 @@ class AnmatSession:
 
     # -- step 3: discover -------------------------------------------------------------
 
-    def run_discovery(self) -> DiscoveryResult:
+    def plan_discovery(self, executor: str = "auto") -> ExecutionPlan:
+        """The :class:`ExecutionPlan` a :meth:`run_discovery` would run."""
+        self._require_table()
+        return plan_discovery(
+            self.table.n_rows,
+            self.config,
+            executor=executor,
+            sharded_upload=self._source.is_sharded_upload,
+            upload_shard_rows=self._source.upload_shard_rows,
+        )
+
+    def run_discovery(self, executor: str = "auto") -> DiscoveryResult:
         """Extract PFDs from the dataset (the Figure 4 view).
 
-        With ``config.shard_rows > 0`` (or a sharded upload) discovery
-        runs through the sharding subsystem — per-shard statistics,
-        merged rule set, identical results to the monolithic path.
+        The run is resolved by the execution engine's planner —
+        ``config.shard_rows`` or a sharded upload route it through the
+        sharded backend, ``config.n_workers`` through the process
+        fan-out, and ``executor`` forces a specific backend — and
+        executed by the matching backend; results are identical across
+        backends.
         """
-        self._require_table()
+        plan = self.plan_discovery(executor)
         if self.profile is None:
             self.run_profiling()
-        if self._use_sharded():
-            self.discovery = ShardedDiscoverer(self.config).discover_with_report(
-                self._sharded_view(), relation=self.dataset_name
-            )
-        else:
-            self.discovery = PfdDiscoverer(self.config).discover_with_report(
-                self.table, relation=self.dataset_name
-            )
+        self.discovery = build_executor(plan).run_discovery(
+            plan, self._source, relation=self.dataset_name
+        )
+        self.last_plan = plan
         # By default every discovered dependency is pending confirmation,
         # and any report/edit loop over the previous rule set is dropped.
         self.confirmed_names = []
@@ -198,18 +256,39 @@ class AnmatSession:
 
     # -- step 5: detect -----------------------------------------------------------------
 
+    def plan_detection(
+        self, strategy: str = DetectionStrategy.AUTO, executor: str = "auto"
+    ) -> ExecutionPlan:
+        """The :class:`ExecutionPlan` a :meth:`run_detection` would run.
+
+        When an explicitly requested strategy forces a sharded dataset
+        back onto a monolithic backend, the planner records that
+        decision on the plan and emits a
+        :class:`~repro.engine.plan.PlanWarning`.
+        """
+        self._require_table()
+        return plan_detection(
+            self.table.n_rows,
+            self.config,
+            strategy=strategy,
+            executor=executor,
+            sharded_upload=self._source.is_sharded_upload,
+            upload_shard_rows=self._source.upload_shard_rows,
+        )
+
     def run_detection(
         self,
         strategy: str = DetectionStrategy.AUTO,
         pfds: Optional[Sequence[PFD]] = None,
+        executor: str = "auto",
     ) -> ViolationReport:
         """Run the confirmed PFDs over the data (the Figure 5 view).
 
-        With ``config.shard_rows > 0`` (or a sharded upload) and the
-        default ``auto`` strategy, detection runs shard-parallel through
-        :class:`ShardedDetector` (canonically equal violations); an
-        explicitly requested strategy always runs the monolithic engine
-        it names.  The edit loop maintains violations monolithically
+        The engine's planner resolves the run: a sharded dataset with
+        the default ``auto`` strategy goes shard-parallel (canonically
+        equal violations); an explicitly requested strategy always runs
+        the monolithic engine it names (the planner records why and
+        warns).  The edit loop maintains violations monolithically
         either way.
         """
         self._require_table()
@@ -218,15 +297,9 @@ class AnmatSession:
             raise ProjectError(
                 "no confirmed PFDs to run; call run_discovery() and confirm() first"
             )
-        if self._use_sharded() and strategy == DetectionStrategy.AUTO:
-            detector = ShardedDetector(
-                self._sharded_view(), n_workers=self.config.n_workers
-            )
-            self.violations = detector.detect_all(rules)
-        else:
-            self.violations = ErrorDetector(self.table).detect_all(
-                rules, strategy=strategy
-            )
+        plan = self.plan_detection(strategy=strategy, executor=executor)
+        self.violations = build_executor(plan).run_detection(plan, self._source, rules)
+        self.last_plan = plan
         self._detection_rules = rules
         # the edit loop's incremental detector understands the monolithic
         # strategies only; ``auto`` is the right re-check for a sharded run
@@ -298,26 +371,6 @@ class AnmatSession:
             raise ProjectError(
                 f"session {self.dataset_name!r} has no table; call load_table() first"
             )
-
-    def _use_sharded(self) -> bool:
-        """Whether discovery/detection should route through the sharding
-        subsystem: opted in via ``config.shard_rows`` or by uploading a
-        :class:`ShardedTable`."""
-        return self.config.shard_rows > 0 or self._sharded is not None
-
-    def _sharded_view(self) -> ShardedTable:
-        """The sharded view of the current table, rebuilt when the table
-        was edited since the view was built (the edit loop mutates the
-        monolithic table, never the shards)."""
-        if self._sharded is not None and self._sharded_version == self.table.version:
-            return self._sharded
-        shard_rows = self.config.shard_rows
-        if shard_rows <= 0 and self._sharded is not None:
-            # sharded upload without an explicit knob: keep its shard size
-            shard_rows = max(shard.n_rows for shard in self._sharded.shards)
-        self._sharded = ShardedTable.from_table(self.table, max(1, shard_rows))
-        self._sharded_version = self.table.version
-        return self._sharded
 
     def _save_results(self) -> None:
         if self.project is None or self.violations is None:

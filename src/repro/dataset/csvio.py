@@ -182,11 +182,14 @@ def read_csv_sharded(
     header: bool = True,
     column_names: Optional[Sequence[str]] = None,
     encoding: str = "utf-8",
+    store=None,
 ):
     """Stream a CSV document straight into a
     :class:`~repro.sharding.sharded_table.ShardedTable` — each chunk is
     parsed and sealed into its own shard, so peak memory during parsing
-    is one shard, not the whole document."""
+    is one shard, not the whole document.  ``store`` picks the
+    :class:`~repro.sharding.store.ShardStore` the shards land in (e.g. a
+    spill-to-disk store for datasets larger than memory)."""
     from repro.sharding.sharded_table import ShardedTable
 
     return ShardedTable.from_chunks(
@@ -197,7 +200,8 @@ def read_csv_sharded(
             header=header,
             column_names=column_names,
             encoding=encoding,
-        )
+        ),
+        store=store,
     )
 
 

@@ -50,17 +50,19 @@ class DiscoveryConfig:
     max_candidate_columns:
         Safety valve for very wide tables.
     n_workers:
-        Opt-in parallelism.  ``0`` or ``1`` run serially; ``>1`` fans
-        embarrassingly parallel stages out over ``concurrent.futures``
-        workers — the candidate-mining stage of monolithic discovery,
-        and the per-shard statistic extraction of the sharded engines.
-        Results are byte-identical to the serial path.
+        Opt-in parallelism, interpreted by the execution engine's
+        planner (:mod:`repro.engine`).  ``0`` or ``1`` run serially;
+        ``>1`` routes runs to the parallel backend (or fans out the
+        sharded backend's per-shard extraction), which spreads the
+        embarrassingly parallel stages over ``concurrent.futures``
+        workers — candidate mining, per-rule detection, per-shard
+        statistic extraction.  Results are byte-identical to the serial
+        path.
     shard_rows:
-        Opt-in sharded execution.  ``0`` runs monolithically; ``>0``
-        makes the session/CLI layer partition the dataset into shards of
-        this many rows and route discovery and detection through
-        :mod:`repro.sharding` (identical rule sets, canonically equal
-        violations).
+        Opt-in sharded execution, interpreted by the engine's planner.
+        ``0`` runs monolithically; ``>0`` routes discovery and detection
+        to the sharded backend over shards of this many rows (identical
+        rule sets, canonically equal violations).
     """
 
     min_coverage: float = 0.6

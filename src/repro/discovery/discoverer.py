@@ -9,12 +9,9 @@ ANMAT GUI displays.
 
 from __future__ import annotations
 
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.profiling import TableProfile, profile_table
 from repro.dataset.table import Table
@@ -90,7 +87,15 @@ class DiscoveryResult:
 
 
 class PfdDiscoverer:
-    """Discovers PFDs directly from (dirty) data."""
+    """Discovers PFDs directly from (dirty) data.
+
+    The discoverer itself always mines serially; ``config.n_workers`` is
+    interpreted by the execution engine's planner, which routes runs to
+    the parallel backend and injects its fan-out through the ``mine``
+    hook of :meth:`discover_with_report`.  Callers who want parallelism
+    should go through :mod:`repro.engine` (or the session/CLI, which
+    already do).
+    """
 
     def __init__(
         self,
@@ -112,8 +117,16 @@ class PfdDiscoverer:
         table: Table,
         relation: Optional[str] = None,
         candidates: Optional[Sequence[CandidateDependency]] = None,
+        mine: Optional[Callable] = None,
     ) -> DiscoveryResult:
-        """Run the full pipeline and return PFDs plus statistics."""
+        """Run the full pipeline and return PFDs plus statistics.
+
+        ``mine`` swaps the candidate-mining stage: it receives
+        ``(table, candidates)`` and returns the per-candidate reports in
+        candidate order.  The default is the serial single-pass miner;
+        the execution engine's parallel backend injects its process
+        fan-out here (see ``repro.engine.executors``).
+        """
         started = time.perf_counter()
         with self.timers.stage("profile"):
             profile = profile_table(table)
@@ -122,10 +135,7 @@ class PfdDiscoverer:
                 candidates = candidate_dependencies(table, self.config, profile)
         candidates = list(candidates)
         with self.timers.stage("mine"):
-            if self.config.n_workers > 1 and len(candidates) > 1:
-                reports = self._mine_parallel(table, candidates)
-            else:
-                reports = self._mine_serial(table, candidates)
+            reports = (mine or self._mine_serial)(table, candidates)
         with self.timers.stage("assemble"):
             pfds = self.assemble_pfds(candidates, reports, relation)
         elapsed = time.perf_counter() - started
@@ -205,59 +215,6 @@ class PfdDiscoverer:
                 )
             )
         return reports
-
-    def _mine_parallel(
-        self, table: Table, candidates: Sequence[CandidateDependency]
-    ) -> List[DependencyReport]:
-        """Fan candidate mining out over ``concurrent.futures`` workers.
-
-        Work is sharded by (LHS column, token mode) so each LHS column
-        crosses the process boundary once and each worker builds its
-        single-pass tokenization once — the same sharing the serial path
-        gets.  Groups are independent (embarrassingly parallel) and the
-        reports are reassembled in candidate order, so output stays
-        byte-identical to the serial path.
-
-        Process workers are preferred; thread workers are used when the
-        config or decision function cannot be pickled, and as a fallback
-        if the pool dies (e.g. fork unavailable).  Genuine mining errors
-        propagate either way.
-        """
-        decision = self.constant_miner.decision
-        groups: Dict[Tuple[str, str], List[int]] = {}
-        for position, candidate in enumerate(candidates):
-            groups.setdefault((candidate.lhs, candidate.lhs_mode), []).append(position)
-        # Workers only read the columns, so payloads carry references:
-        # the process pool serializes them on submit, the thread pool
-        # shares them in-process — neither needs an up-front copy.
-        payloads = [
-            (
-                [candidates[i] for i in positions],
-                table.column_ref(lhs),
-                [table.column_ref(candidates[i].rhs) for i in positions],
-                self.config,
-                decision,
-            )
-            for (lhs, _mode), positions in groups.items()
-        ]
-        max_workers = min(self.config.n_workers, len(payloads))
-        try:
-            pickle.dumps((self.config, decision))
-            executor_cls = ProcessPoolExecutor
-        except Exception:
-            executor_cls = ThreadPoolExecutor
-        try:
-            with executor_cls(max_workers=max_workers) as executor:
-                group_reports = list(executor.map(_mine_candidate_group, payloads))
-        except BrokenProcessPool:
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
-                group_reports = list(executor.map(_mine_candidate_group, payloads))
-        reports: List[Optional[DependencyReport]] = [None] * len(candidates)
-        for positions, group in zip(groups.values(), group_reports):
-            for position, report in zip(positions, group):
-                reports[position] = report
-        return reports  # type: ignore[return-value]
-
 
     # -- PFD construction ----------------------------------------------------------
 
@@ -351,7 +308,8 @@ def _mine_candidate_values(
 
 
 def _mine_candidate_group(payload) -> List[DependencyReport]:
-    """Worker entry point for :meth:`PfdDiscoverer._mine_parallel`.
+    """Worker entry point for the engine's parallel mining fan-out
+    (``repro.engine.executors.mine_candidates_parallel``).
 
     One payload = all candidates sharing one LHS column (and token
     mode); the worker tokenizes that column once and mines each

@@ -1,0 +1,74 @@
+"""The pluggable execution engine: one planner, interchangeable backends.
+
+Every discovery/detection run in the system — session, CLI, examples,
+benchmarks — goes through the same two steps:
+
+1. :func:`plan_run` (or the :func:`plan_discovery` / :func:`plan_detection`
+   wrappers) resolves the observable inputs (table size, ``shard_rows``,
+   ``n_workers``, requested strategy/executor, sharded-vs-monolithic
+   upload) into an :class:`ExecutionPlan`, recording every routing
+   decision it takes;
+2. :func:`build_executor` hands back the matching backend —
+   :class:`SerialExecutor`, :class:`ParallelExecutor`, or
+   :class:`ShardedExecutor` — and ``executor.run_discovery(plan, ...)``
+   / ``executor.run_detection(plan, ...)`` executes it.
+
+The :class:`~repro.sharding.store.ShardStore` interface (re-exported
+here) is the storage seam of the sharded backend: shards can live in
+memory or spill to disk without the engines noticing.  See
+``docs/ARCHITECTURE.md`` for how the layers compose.
+"""
+
+from repro.engine.executors import (
+    DataSource,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    build_executor,
+    detect_all_parallel,
+    mine_candidates_parallel,
+)
+from repro.engine.plan import (
+    DEFAULT_PARALLEL_WORKERS,
+    DEFAULT_SHARD_ROWS,
+    REQUESTABLE_EXECUTORS,
+    ExecutionBackend,
+    ExecutionPlan,
+    PlanWarning,
+    plan_detection,
+    plan_discovery,
+    plan_run,
+)
+from repro.engine.pool import make_shard_map, process_map, serial_map
+from repro.sharding.store import (
+    InMemoryShardStore,
+    ShardStore,
+    SpillToDiskShardStore,
+)
+
+__all__ = [
+    "DataSource",
+    "DEFAULT_PARALLEL_WORKERS",
+    "DEFAULT_SHARD_ROWS",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "Executor",
+    "InMemoryShardStore",
+    "ParallelExecutor",
+    "PlanWarning",
+    "REQUESTABLE_EXECUTORS",
+    "SerialExecutor",
+    "ShardStore",
+    "ShardedExecutor",
+    "SpillToDiskShardStore",
+    "build_executor",
+    "detect_all_parallel",
+    "make_shard_map",
+    "mine_candidates_parallel",
+    "plan_detection",
+    "plan_discovery",
+    "plan_run",
+    "process_map",
+    "serial_map",
+]

@@ -1,0 +1,302 @@
+"""Executor backends: *how* an :class:`ExecutionPlan` runs.
+
+Every discovery/detection run in the system goes ``plan →
+executor.run(plan)``.  The three concrete backends map one-to-one onto
+:class:`~repro.engine.plan.ExecutionBackend`:
+
+* :class:`SerialExecutor` — the monolithic engines
+  (:class:`~repro.discovery.discoverer.PfdDiscoverer`,
+  :class:`~repro.detection.detector.ErrorDetector`), fully in-process.
+* :class:`ParallelExecutor` — the same monolithic semantics with the
+  embarrassingly parallel stages fanned out over worker processes:
+  candidate mining is grouped by LHS column (each column crosses the
+  process boundary once), detection fans out per rule over projected
+  two-column payloads.  Results are byte-identical to the serial path.
+* :class:`ShardedExecutor` — the sharded engines over a
+  :class:`~repro.sharding.sharded_table.ShardedTable` (whose shards may
+  live in any :class:`~repro.sharding.store.ShardStore`), with the
+  per-shard extraction fanned out when the plan carries workers.
+
+Executors are stateless; :func:`build_executor` hands back the backend a
+plan names.  The :class:`DataSource` wrapper owns the monolithic-table /
+sharded-view duality (including the rebuild-on-edit caching the session
+used to carry), so executors never branch on how the data arrived.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.table import Table
+from repro.detection.detector import ErrorDetector
+from repro.detection.violation import ViolationReport
+from repro.discovery.discoverer import (
+    DiscoveryResult,
+    PfdDiscoverer,
+    _mine_candidate_group,
+)
+from repro.engine.plan import ExecutionBackend, ExecutionPlan
+from repro.engine.pool import make_shard_map, process_map
+from repro.errors import DetectionError
+from repro.pfd.pfd import PFD
+from repro.sharding.detection import ShardedDetector
+from repro.sharding.discovery import ShardedDiscoverer
+from repro.sharding.sharded_table import ShardedTable
+
+
+class DataSource:
+    """One dataset as both a monolithic table and a sharded view.
+
+    Wraps the logical :class:`Table` plus (optionally) the
+    :class:`ShardedTable` it arrived as.  :meth:`sharded_view` rebuilds
+    the shards when the monolithic table was edited since they were cut
+    (the edit loop mutates the monolithic table, never the shards) and
+    otherwise reuses them, preserving the merged-artifact caches.
+    """
+
+    def __init__(self, table: Table, sharded: Optional[ShardedTable] = None):
+        self.table = table
+        self._sharded = sharded
+        self._sharded_version = table.version if sharded is not None else None
+        #: whether the dataset *arrived* sharded — a plan input; building
+        #: a view later (e.g. a forced sharded run) must not flip it
+        self._is_upload = sharded is not None
+        self._sharded_rows = (
+            max(sharded.shard_row_counts()) if sharded is not None else 0
+        )
+
+    @property
+    def is_sharded_upload(self) -> bool:
+        """Whether the dataset arrived as shards (upload kind, not
+        whether a sharded view happens to be cached)."""
+        return self._is_upload
+
+    @property
+    def upload_shard_rows(self) -> int:
+        """The upload partition's largest shard (``0`` for monolithic
+        uploads)."""
+        return self._sharded_rows if self._is_upload else 0
+
+    def sharded_view(self, shard_rows: int) -> ShardedTable:
+        """The sharded view of the current table at the requested shard
+        size, rebuilt when the table was edited since the view was built
+        or when the cached partition does not match ``shard_rows`` (so
+        the executed partition always matches the plan's)."""
+        if (
+            self._sharded is not None
+            and self._sharded_version == self.table.version
+            and (shard_rows <= 0 or shard_rows == self._sharded_rows)
+        ):
+            return self._sharded
+        if shard_rows <= 0 and self._sharded is not None:
+            # sharded upload without an explicit knob: keep its shard size
+            shard_rows = self._sharded_rows
+        shard_rows = max(1, shard_rows)
+        self._sharded = ShardedTable.from_table(self.table, shard_rows)
+        self._sharded_version = self.table.version
+        self._sharded_rows = shard_rows
+        return self._sharded
+
+
+class Executor(ABC):
+    """A backend that can run discovery/detection plans."""
+
+    name: str
+
+    @abstractmethod
+    def run_discovery(
+        self, plan: ExecutionPlan, source: DataSource, relation: Optional[str] = None
+    ) -> DiscoveryResult:
+        """Run a discovery plan over the source."""
+
+    @abstractmethod
+    def run_detection(
+        self, plan: ExecutionPlan, source: DataSource, rules: Sequence[PFD]
+    ) -> ViolationReport:
+        """Run a detection plan (the given rules) over the source."""
+
+
+class SerialExecutor(Executor):
+    """The monolithic engines, fully in-process."""
+
+    name = ExecutionBackend.SERIAL
+
+    def run_discovery(self, plan, source, relation=None):
+        return PfdDiscoverer(plan.config).discover_with_report(
+            source.table, relation=relation
+        )
+
+    def run_detection(self, plan, source, rules):
+        return ErrorDetector(source.table).detect_all(rules, strategy=plan.strategy)
+
+
+class ParallelExecutor(Executor):
+    """Monolithic semantics with process fan-out of the parallel stages."""
+
+    name = ExecutionBackend.PARALLEL
+
+    def run_discovery(self, plan, source, relation=None):
+        discoverer = PfdDiscoverer(plan.config)
+        return discoverer.discover_with_report(
+            source.table,
+            relation=relation,
+            mine=lambda table, candidates: mine_candidates_parallel(
+                discoverer, table, candidates, plan.n_workers
+            ),
+        )
+
+    def run_detection(self, plan, source, rules):
+        return detect_all_parallel(
+            source.table, list(rules), plan.strategy, plan.n_workers
+        )
+
+
+class ShardedExecutor(Executor):
+    """The sharded engines over merged per-shard statistics."""
+
+    name = ExecutionBackend.SHARDED
+
+    def run_discovery(self, plan, source, relation=None):
+        sharded = source.sharded_view(plan.shard_rows)
+        return ShardedDiscoverer(
+            plan.config, shard_map=make_shard_map(plan.n_workers)
+        ).discover_with_report(sharded, relation=relation)
+
+    def run_detection(self, plan, source, rules):
+        sharded = source.sharded_view(plan.shard_rows)
+        return ShardedDetector(
+            sharded, shard_map=make_shard_map(plan.n_workers)
+        ).detect_all(rules)
+
+
+_EXECUTORS: Dict[str, Executor] = {
+    ExecutionBackend.SERIAL: SerialExecutor(),
+    ExecutionBackend.PARALLEL: ParallelExecutor(),
+    ExecutionBackend.SHARDED: ShardedExecutor(),
+}
+
+
+def build_executor(plan: ExecutionPlan) -> Executor:
+    """The executor backend a plan names (executors are stateless, so
+    one shared instance per backend)."""
+    try:
+        return _EXECUTORS[plan.backend]
+    except KeyError:
+        raise DetectionError(f"plan names unknown backend {plan.backend!r}") from None
+
+
+# -- parallel discovery -----------------------------------------------------------
+
+
+def mine_candidates_parallel(
+    discoverer: PfdDiscoverer,
+    table: Table,
+    candidates: Sequence,
+    n_workers: int,
+) -> List:
+    """Fan candidate mining out over ``concurrent.futures`` workers.
+
+    Work is sharded by (LHS column, token mode) so each LHS column
+    crosses the process boundary once and each worker builds its
+    single-pass tokenization once — the same sharing the serial path
+    gets.  Groups are independent (embarrassingly parallel) and the
+    reports are reassembled in candidate order, so output stays
+    byte-identical to the serial path.
+
+    Process workers are preferred; thread workers are used when the
+    config or decision function cannot be pickled, and as a fallback if
+    the pool dies (e.g. fork unavailable).  Genuine mining errors
+    propagate either way.
+    """
+    config = discoverer.config
+    decision = discoverer.constant_miner.decision
+    if n_workers <= 1 or len(candidates) < 2:
+        return discoverer._mine_serial(table, candidates)
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for position, candidate in enumerate(candidates):
+        groups.setdefault((candidate.lhs, candidate.lhs_mode), []).append(position)
+    # Workers only read the columns, so payloads carry references: the
+    # process pool serializes them on submit, the thread pool shares
+    # them in-process — neither needs an up-front copy.
+    payloads = [
+        (
+            [candidates[i] for i in positions],
+            table.column_ref(lhs),
+            [table.column_ref(candidates[i].rhs) for i in positions],
+            config,
+            decision,
+        )
+        for (lhs, _mode), positions in groups.items()
+    ]
+    if len(payloads) < 2:
+        # one LHS column group: a pool of one buys nothing, skip it
+        return discoverer._mine_serial(table, candidates)
+    max_workers = min(n_workers, len(payloads))
+    try:
+        pickle.dumps((config, decision))
+        executor_cls = ProcessPoolExecutor
+    except Exception:
+        executor_cls = ThreadPoolExecutor
+    try:
+        with executor_cls(max_workers=max_workers) as executor:
+            group_reports = list(executor.map(_mine_candidate_group, payloads))
+    except BrokenProcessPool:
+        with ThreadPoolExecutor(max_workers=max_workers) as executor:
+            group_reports = list(executor.map(_mine_candidate_group, payloads))
+    reports: List = [None] * len(candidates)
+    for positions, group in zip(groups.values(), group_reports):
+        for position, report in zip(positions, group):
+            reports[position] = report
+    return reports
+
+
+# -- parallel detection ------------------------------------------------------------
+
+
+def detect_all_parallel(
+    table: Table, rules: List[PFD], strategy: str, n_workers: int
+) -> ViolationReport:
+    """Detect every rule's violations with a per-rule process fan-out.
+
+    Each payload carries only the two columns the rule touches (as a
+    projected two-column table), so the table crosses the process
+    boundary per rule pair, not per worker times full width.  Row ids
+    are column positions, which the projection preserves, so the merged
+    report is identical to a serial ``detect_all`` — only ``elapsed``
+    differs.  Unpicklable rules or a broken pool degrade to the serial
+    in-process path; genuine detection errors propagate.
+    """
+    merged = ViolationReport(n_rows=table.n_rows, strategy=strategy)
+    if len(rules) < 2 or n_workers <= 1:
+        return ErrorDetector(table).detect_all(rules, strategy=strategy)
+    payloads = []
+    for pfd in rules:
+        attributes = [pfd.lhs_attribute]
+        if pfd.rhs_attribute not in attributes:
+            attributes.append(pfd.rhs_attribute)
+        columns = {name: table.column_ref(name) for name in attributes}
+        payloads.append((columns, table.n_rows, pfd, strategy))
+    try:
+        pickle.dumps(payloads)
+    except Exception:
+        return ErrorDetector(table).detect_all(rules, strategy=strategy)
+    partials = process_map(_detect_rule_payload, payloads, n_workers)
+    for partial in partials:
+        merged = merged.merged_with(partial)
+    merged.strategy = strategy
+    return merged
+
+
+def _detect_rule_payload(payload) -> ViolationReport:
+    """Worker entry point for the per-rule detection fan-out
+    (module-level so it is picklable by ``ProcessPoolExecutor``)."""
+    columns, n_rows, pfd, strategy = payload
+    names = list(columns)
+    projected = Table(names, [columns[name] for name in names])
+    report = ErrorDetector(projected).detect(pfd, strategy=strategy)
+    report.n_rows = n_rows
+    return report

@@ -1,0 +1,287 @@
+"""Execution planning: *what* to run is decided once, in one place.
+
+Before this layer existed the repository had three hand-wired ways to
+run the same PFD workload — the monolithic engines, the ``n_workers``
+process fan-out, and the sharded path — with the routing decisions
+duplicated as ad-hoc branches in the session and the CLI.  The planner
+replaces all of them: every discovery/detection run first builds an
+:class:`ExecutionPlan` from the observable inputs (table size, requested
+executor, ``shard_rows``, ``n_workers``, detection strategy, whether the
+upload arrived sharded), and the matching
+:class:`~repro.engine.executors.Executor` backend then runs the plan.
+
+The plan records every routing decision it takes as a human-readable
+line (``plan.decisions``), so ``--explain-plan`` and post-mortems can
+show *why* a backend was chosen.  Decisions that silently change what
+the user asked for — notably an explicit detection strategy forcing a
+sharded upload back onto the monolithic engine — additionally raise a
+:class:`PlanWarning`.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.detection.detector import DetectionStrategy
+from repro.discovery.config import DiscoveryConfig
+from repro.errors import DetectionError
+
+
+class ExecutionBackend:
+    """String constants naming the executor backends."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    SHARDED = "sharded"
+
+    ALL = (SERIAL, PARALLEL, SHARDED)
+
+
+#: what callers may request: a concrete backend, or ``auto`` routing
+REQUESTABLE_EXECUTORS = ("auto", *ExecutionBackend.ALL)
+
+#: shard size used when the sharded backend is requested explicitly but
+#: nothing (config, upload) suggests one
+DEFAULT_SHARD_ROWS = 4096
+
+#: workers used when the parallel backend is requested explicitly but
+#: ``config.n_workers`` does not ask for any
+DEFAULT_PARALLEL_WORKERS = 2
+
+
+class PlanWarning(UserWarning):
+    """A plan decision silently overrode something the user asked for."""
+
+
+@dataclass
+class ExecutionPlan:
+    """One resolved discovery or detection run.
+
+    The plan is pure data plus the :class:`DiscoveryConfig` it was
+    planned from; executing it is the
+    :class:`~repro.engine.executors.Executor`'s job.
+    """
+
+    kind: str  #: ``"discovery"`` or ``"detection"``
+    backend: str  #: one of :class:`ExecutionBackend`
+    config: DiscoveryConfig
+    #: detection strategy handed to the monolithic engine (``"auto"``
+    #: for discovery plans and for the sharded backend)
+    strategy: str = DetectionStrategy.AUTO
+    #: effective fan-out workers (``<= 1`` means fully serial stages)
+    n_workers: int = 0
+    #: effective shard size (``0`` for the monolithic backends)
+    shard_rows: int = 0
+    #: estimated shard count (``0`` for the monolithic backends)
+    n_shards: int = 0
+    n_rows: int = 0
+    #: the executor the caller asked for (``"auto"`` or a backend name)
+    requested_executor: str = "auto"
+    #: human-readable routing decisions, in the order they were taken
+    decisions: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """The ``--explain-plan`` rendering: one summary line plus one
+        indented line per recorded decision."""
+        if self.backend == ExecutionBackend.SHARDED:
+            shape = f"shards={self.n_shards}x{self.shard_rows}"
+        else:
+            shape = f"strategy={self.strategy}"
+        lines = [
+            f"execution plan ({self.kind}): backend={self.backend} "
+            f"{shape} workers={self.n_workers} rows={self.n_rows}"
+        ]
+        lines.extend(f"  - {decision}" for decision in self.decisions)
+        return "\n".join(lines)
+
+
+def plan_run(
+    kind: str,
+    n_rows: int,
+    config: Optional[DiscoveryConfig] = None,
+    *,
+    strategy: str = DetectionStrategy.AUTO,
+    executor: str = "auto",
+    sharded_upload: bool = False,
+    upload_shard_rows: int = 0,
+) -> ExecutionPlan:
+    """Resolve one discovery/detection run into an :class:`ExecutionPlan`.
+
+    Parameters
+    ----------
+    kind:
+        ``"discovery"`` or ``"detection"``.
+    n_rows:
+        Size of the logical table.
+    config:
+        The session's :class:`DiscoveryConfig` (supplies ``shard_rows``
+        and ``n_workers``).
+    strategy:
+        Detection only — the requested monolithic strategy; anything
+        other than ``auto`` pins the run to a monolithic backend.
+    executor:
+        ``auto`` routes on the inputs; a backend name forces it.
+    sharded_upload:
+        Whether the dataset arrived as a :class:`ShardedTable` (e.g.
+        streamed chunk-wise from CSV).
+    upload_shard_rows:
+        The upload's largest shard, used as the shard size when
+        ``config.shard_rows`` does not name one.
+    """
+    if kind not in ("discovery", "detection"):
+        raise ValueError(f"unknown plan kind {kind!r}")
+    if executor not in REQUESTABLE_EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {REQUESTABLE_EXECUTORS}"
+        )
+    if kind == "detection" and strategy not in DetectionStrategy.ALL:
+        raise DetectionError(
+            f"unknown strategy {strategy!r}; expected one of {DetectionStrategy.ALL}"
+        )
+    config = config or DiscoveryConfig()
+    decisions: List[str] = []
+    wants_sharded = config.shard_rows > 0 or sharded_upload
+
+    # -- backend selection ---------------------------------------------------
+    if executor == ExecutionBackend.SERIAL:
+        backend = ExecutionBackend.SERIAL
+        if wants_sharded:
+            decisions.append(
+                "serial executor requested explicitly: the sharded "
+                "upload/shard_rows request is stitched and run monolithically"
+            )
+    elif executor == ExecutionBackend.PARALLEL:
+        backend = ExecutionBackend.PARALLEL
+        if wants_sharded:
+            decisions.append(
+                "parallel executor requested explicitly: running the "
+                "monolithic engine with process fan-out instead of shards"
+            )
+    elif executor == ExecutionBackend.SHARDED:
+        backend = ExecutionBackend.SHARDED
+    elif wants_sharded:
+        backend = ExecutionBackend.SHARDED
+        decisions.append(
+            "sharded upload detected"
+            if sharded_upload and config.shard_rows <= 0
+            else f"config.shard_rows={config.shard_rows} requests sharded execution"
+        )
+    elif config.n_workers > 1:
+        backend = ExecutionBackend.PARALLEL
+        decisions.append(
+            f"config.n_workers={config.n_workers} requests process fan-out"
+        )
+    else:
+        backend = ExecutionBackend.SERIAL
+
+    # -- an explicit strategy pins detection to a monolithic engine ----------
+    if (
+        kind == "detection"
+        and strategy != DetectionStrategy.AUTO
+        and backend == ExecutionBackend.SHARDED
+    ):
+        backend = (
+            ExecutionBackend.PARALLEL
+            if config.n_workers > 1
+            else ExecutionBackend.SERIAL
+        )
+        reason = (
+            f"explicitly requested strategy {strategy!r} runs the monolithic "
+            f"{backend} backend; shard parallelism is skipped (the sharded "
+            "backend has its own distinct-value strategy)"
+        )
+        decisions.append(reason)
+        warnings.warn(reason, PlanWarning, stacklevel=2)
+
+    # -- effective workers ---------------------------------------------------
+    n_workers = config.n_workers
+    if executor == ExecutionBackend.PARALLEL and n_workers <= 1:
+        n_workers = DEFAULT_PARALLEL_WORKERS
+        decisions.append(
+            "parallel executor requested without config.n_workers; "
+            f"defaulting to {n_workers} workers"
+        )
+    if backend == ExecutionBackend.SERIAL and n_workers > 1:
+        # only reachable via an explicit serial request — say so rather
+        # than letting describe() print workers that will never run
+        decisions.append(
+            f"serial backend runs fully in-process; "
+            f"config.n_workers={n_workers} is ignored"
+        )
+        n_workers = 0
+
+    # -- effective shard size ------------------------------------------------
+    shard_rows = 0
+    n_shards = 0
+    if backend == ExecutionBackend.SHARDED:
+        if config.shard_rows > 0:
+            shard_rows = config.shard_rows
+        elif upload_shard_rows > 0:
+            shard_rows = upload_shard_rows
+            decisions.append(
+                f"keeping the upload's shard size of {shard_rows} rows"
+            )
+        else:
+            shard_rows = DEFAULT_SHARD_ROWS
+            decisions.append(
+                "sharded executor requested without a shard size; "
+                f"defaulting to shard_rows={shard_rows}"
+            )
+        shard_rows = max(1, shard_rows)
+        n_shards = max(1, math.ceil(n_rows / shard_rows)) if n_rows else 1
+
+    return ExecutionPlan(
+        kind=kind,
+        backend=backend,
+        config=config,
+        strategy=strategy if kind == "detection" else DetectionStrategy.AUTO,
+        n_workers=n_workers,
+        shard_rows=shard_rows,
+        n_shards=n_shards,
+        n_rows=n_rows,
+        requested_executor=executor,
+        decisions=decisions,
+    )
+
+
+def plan_discovery(
+    n_rows: int,
+    config: Optional[DiscoveryConfig] = None,
+    *,
+    executor: str = "auto",
+    sharded_upload: bool = False,
+    upload_shard_rows: int = 0,
+) -> ExecutionPlan:
+    """Plan one discovery run (see :func:`plan_run`)."""
+    return plan_run(
+        "discovery",
+        n_rows,
+        config,
+        executor=executor,
+        sharded_upload=sharded_upload,
+        upload_shard_rows=upload_shard_rows,
+    )
+
+
+def plan_detection(
+    n_rows: int,
+    config: Optional[DiscoveryConfig] = None,
+    *,
+    strategy: str = DetectionStrategy.AUTO,
+    executor: str = "auto",
+    sharded_upload: bool = False,
+    upload_shard_rows: int = 0,
+) -> ExecutionPlan:
+    """Plan one detection run (see :func:`plan_run`)."""
+    return plan_run(
+        "detection",
+        n_rows,
+        config,
+        strategy=strategy,
+        executor=executor,
+        sharded_upload=sharded_upload,
+        upload_shard_rows=upload_shard_rows,
+    )

@@ -1,0 +1,72 @@
+"""Process fan-out primitives shared by the executor backends.
+
+Before the engine existed, each subsystem carried its own copy of the
+same ``ProcessPoolExecutor`` dance (spin up a pool, ``map`` payloads,
+fall back to serial when fork is unavailable).  Backends hand a
+picklable worker function and a payload list to :func:`process_map`, or
+obtain a bound *shard map* via :func:`make_shard_map` to inject into the
+sharded engines.  (One fan-out stays bespoke:
+``executors.mine_candidates_parallel`` additionally degrades to *thread*
+workers when the discovery config or decision function cannot be
+pickled, which ``process_map`` deliberately does not model.)
+
+The ``n_workers`` knob is interpreted only inside ``repro.engine``:
+``<= 1`` means fully serial, anything larger caps the pool at the
+payload count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Payload = TypeVar("Payload")
+Result = TypeVar("Result")
+
+#: signature of the map hook the sharded engines accept: ``fn`` applied
+#: to every payload, results in payload order
+ShardMap = Callable[[Callable[[Payload], Result], Sequence[Payload]], List[Result]]
+
+
+def serial_map(fn: Callable[[Payload], Result], payloads: Sequence[Payload]) -> List[Result]:
+    """Apply ``fn`` in-process, in order (the degenerate shard map)."""
+    return [fn(payload) for payload in payloads]
+
+
+def process_map(
+    fn: Callable[[Payload], Result],
+    payloads: Sequence[Payload],
+    n_workers: int,
+) -> List[Result]:
+    """Apply ``fn`` to every payload on worker processes.
+
+    Results come back in payload order.  Runs serially when the worker
+    count or payload count makes a pool pointless, and degrades to the
+    serial path when the pool breaks (fork unavailable in the sandbox);
+    genuine worker errors propagate.
+    """
+    max_workers = min(n_workers, len(payloads))
+    if max_workers < 2:
+        return serial_map(fn, payloads)
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            return list(executor.map(fn, payloads))
+    except BrokenProcessPool:
+        return serial_map(fn, payloads)
+
+
+def make_shard_map(n_workers: int) -> Optional[ShardMap]:
+    """A shard map bound to ``n_workers``, or ``None`` for serial.
+
+    The sharded engines treat ``None`` as "stay in-process" (which also
+    lets them share per-value caches across shards); a non-``None`` map
+    is applied to their per-shard extraction payloads.
+    """
+    if n_workers <= 1:
+        return None
+
+    def pooled(fn: Callable[[Payload], Result], payloads: Sequence[Payload]) -> List[Result]:
+        return process_map(fn, payloads, n_workers)
+
+    return pooled

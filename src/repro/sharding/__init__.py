@@ -18,12 +18,20 @@ from repro.sharding.stats import (
     merge_pair_groups,
     merge_tokenizations,
 )
+from repro.sharding.store import (
+    InMemoryShardStore,
+    ShardStore,
+    SpillToDiskShardStore,
+)
 
 __all__ = [
     "SHARDED_STRATEGY",
     "ShardedDetector",
     "ShardedDiscoverer",
     "ShardedTable",
+    "ShardStore",
+    "InMemoryShardStore",
+    "SpillToDiskShardStore",
     "MergedPairGroups",
     "extract_pair_groups",
     "merge_pair_groups",

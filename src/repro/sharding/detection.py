@@ -8,7 +8,7 @@ per-row scans:
 
 * each shard contributes one ``LHS value → RHS value → rows`` map per
   attribute pair (the shard fan-out stage; runs on worker processes when
-  ``n_workers > 1``);
+  the engine injects a pooled ``shard_map``);
 * the maps are reduced in shard order, giving the global distinct-value
   statistics;
 * **constant rules** match the rule's LHS cell once per merged distinct
@@ -28,9 +28,17 @@ not comparable with the row-level strategies.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.detection.rules import (
     ConstantRuleEvaluator,
@@ -70,11 +78,14 @@ class ShardedDetector:
         self,
         sharded: ShardedTable,
         memo: Optional[MatchMemo] = None,
-        n_workers: int = 0,
+        shard_map: Optional[Callable] = None,
     ):
         self.sharded = sharded
         self.memo = MATCH_MEMO if memo is None else memo
-        self.n_workers = n_workers
+        #: how to apply the per-shard extraction: ``None`` stays
+        #: in-process; anything else is a map hook, e.g.
+        #: :func:`repro.engine.pool.make_shard_map`'s pooled fan-out
+        self._shard_map = shard_map
 
     # -- public API -----------------------------------------------------------
 
@@ -114,8 +125,12 @@ class ShardedDetector:
         )
 
     def _merge_pair_groups(self, lhs: str, rhs: str) -> MergedPairGroups:
-        if self.n_workers > 1 and self.sharded.n_shards > 1:
-            shard_groups = self._extract_parallel(lhs, rhs)
+        if self._shard_map is not None and self.sharded.n_shards > 1:
+            payloads = [
+                (shard.column_ref(lhs), shard.column_ref(rhs), offset)
+                for offset, shard in self.sharded.iter_shards()
+            ]
+            shard_groups = self._shard_map(_extract_shard, payloads)
         else:
             shard_groups = [
                 self._shard_pair_groups(shard, offset, lhs, rhs)
@@ -134,24 +149,6 @@ class ShardedDetector:
                 shard.column_ref(lhs), shard.column_ref(rhs), offset
             ),
         )
-
-    def _extract_parallel(self, lhs: str, rhs: str) -> List[PairGroups]:
-        """Fan the per-shard extraction out over worker processes.
-
-        Payloads carry only the two needed columns per shard; results
-        come back in shard order.  A broken pool (fork unavailable)
-        degrades to the serial path.
-        """
-        payloads = [
-            (shard.column_ref(lhs), shard.column_ref(rhs), offset)
-            for offset, shard in self.sharded.iter_shards()
-        ]
-        max_workers = min(self.n_workers, len(payloads))
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as executor:
-                return list(executor.map(_extract_shard, payloads))
-        except BrokenProcessPool:
-            return [_extract_shard(payload) for payload in payloads]
 
     # -- constant rules -----------------------------------------------------------
 

@@ -16,9 +16,7 @@ tableaux, same PFD names and order.  The differential suite in
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.profiling import TableProfile, profile_column
 from repro.discovery.candidates import CandidateDependency, candidate_dependencies
@@ -42,11 +40,17 @@ class ShardedDiscoverer:
         self,
         config: Optional[DiscoveryConfig] = None,
         decision: Optional[DecisionFunction] = None,
+        shard_map: Optional[Callable] = None,
     ):
         #: the monolithic driver supplies the miners, the decision
         #: function, and the assemble stage — one pipeline, two feeders
         self.discoverer = PfdDiscoverer(config, decision)
         self.config = self.discoverer.config
+        #: how to apply the per-shard extraction: ``None`` stays
+        #: in-process (sharing one distinct-value cache across shards),
+        #: anything else is a map hook, e.g.
+        #: :func:`repro.engine.pool.make_shard_map`'s pooled fan-out
+        self._shard_map = shard_map
 
     def discover(self, sharded: ShardedTable, relation: Optional[str] = None) -> List[PFD]:
         """Discover PFDs and return just the PFD list."""
@@ -137,8 +141,12 @@ class ShardedDiscoverer:
         self, sharded: ShardedTable, column: str, mode: str
     ) -> ColumnTokenization:
         ngram_size = self.config.ngram_size
-        if self.config.n_workers > 1 and sharded.n_shards > 1:
-            shard_rows = self._extract_parallel(sharded, column, mode)
+        if self._shard_map is not None and sharded.n_shards > 1:
+            payloads = [
+                (shard.column_ref(column), mode, ngram_size)
+                for _offset, shard in sharded.iter_shards()
+            ]
+            shard_rows = self._shard_map(_extract_shard_tokens, payloads)
         else:
             # One distinct-value cache across shards: a value recurring in
             # many shards is tokenized once, like the monolithic pass.
@@ -150,22 +158,6 @@ class ShardedDiscoverer:
                 for _offset, shard in sharded.iter_shards()
             ]
         return merge_tokenizations(mode, ngram_size, shard_rows)
-
-    def _extract_parallel(
-        self, sharded: ShardedTable, column: str, mode: str
-    ) -> List[list]:
-        """Per-shard tokenization on worker processes (results return in
-        shard order; a broken pool degrades to the serial path)."""
-        payloads = [
-            (shard.column_ref(column), mode, self.config.ngram_size)
-            for _offset, shard in sharded.iter_shards()
-        ]
-        max_workers = min(self.config.n_workers, len(payloads))
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as executor:
-                return list(executor.map(_extract_shard_tokens, payloads))
-        except BrokenProcessPool:
-            return [_extract_shard_tokens(payload) for payload in payloads]
 
 
 def _extract_shard_tokens(payload) -> list:

@@ -1,11 +1,18 @@
 """A table partitioned into row shards.
 
 A :class:`ShardedTable` is the unit of work of the sharded execution
-engine: an ordered list of per-shard :class:`~repro.dataset.table.Table`
-objects whose vertical concatenation is the logical dataset.  Row
-identity is global — shard ``i`` owns the half-open global row range
-``[offsets[i], offsets[i] + shards[i].n_rows)`` — so per-shard derived
-statistics can carry *global* row ids and merge by plain concatenation.
+engine: an ordered sequence of per-shard
+:class:`~repro.dataset.table.Table` objects whose vertical concatenation
+is the logical dataset.  Row identity is global — shard ``i`` owns the
+half-open global row range ``[offsets[i], offsets[i] + shards[i].n_rows)``
+— so per-shard derived statistics can carry *global* row ids and merge
+by plain concatenation.
+
+Shard bytes live behind a pluggable
+:class:`~repro.sharding.store.ShardStore`: the default in-memory store
+keeps live ``Table`` objects, the spill-to-disk store re-parses shards
+from CSV on access with bounded resident memory.  A plain shard list is
+wrapped into an in-memory store transparently.
 
 Shards are immutable by contract: the sharded engines cache merged
 statistics keyed by the shards' mutation versions, and the interactive
@@ -17,32 +24,29 @@ caches are invalidated, but no partial update is attempted.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.dataset.table import Table
 from repro.errors import TableError
+from repro.sharding.store import InMemoryShardStore, ShardStore
 
 
 class ShardedTable:
     """An ordered partition of one logical table into row shards."""
 
-    def __init__(self, shards: Sequence[Table]):
-        shards = list(shards)
-        if not shards:
+    def __init__(self, shards: Union[Sequence[Table], ShardStore]):
+        if isinstance(shards, ShardStore):
+            store = shards
+        else:
+            store = InMemoryShardStore(list(shards))
+        if store.n_shards == 0:
             raise TableError("a ShardedTable needs at least one shard")
-        names = shards[0].column_names()
-        for position, shard in enumerate(shards[1:], start=1):
-            if shard.column_names() != names:
-                raise TableError(
-                    f"shard {position} has columns {shard.column_names()}, "
-                    f"expected {names} (all shards must share one schema)"
-                )
-        self._shards: List[Table] = shards
+        self._store = store
         offsets: List[int] = []
         total = 0
-        for shard in shards:
+        for n_rows in store.shard_row_counts():
             offsets.append(total)
-            total += shard.n_rows
+            total += n_rows
         self._offsets = offsets
         self._n_rows = total
         #: merged-artifact cache: key → (shard versions at build time, artifact)
@@ -51,35 +55,69 @@ class ShardedTable:
     # -- constructors --------------------------------------------------------
 
     @classmethod
-    def from_table(cls, table: Table, shard_rows: int) -> "ShardedTable":
+    def from_table(
+        cls, table: Table, shard_rows: int, store: ShardStore = None
+    ) -> "ShardedTable":
         """Partition an in-memory table into shards of ``shard_rows`` rows
         (the last shard may be shorter).  A zero-row table becomes one
-        empty shard."""
+        empty shard.  ``store`` chooses where the shards live (default:
+        in memory)."""
         if shard_rows < 1:
             raise TableError(f"shard_rows must be >= 1, got {shard_rows}")
         if table.n_rows == 0:
-            return cls([table.copy()])
-        shards = [
-            table.take(range(start, min(start + shard_rows, table.n_rows)))
-            for start in range(0, table.n_rows, shard_rows)
-        ]
-        return cls(shards)
+            return cls.from_chunks([table.copy()], store=store)
+        return cls.from_chunks(
+            (
+                table.take(range(start, min(start + shard_rows, table.n_rows)))
+                for start in range(0, table.n_rows, shard_rows)
+            ),
+            store=store,
+        )
 
     @classmethod
-    def from_chunks(cls, chunks: Iterable[Table]) -> "ShardedTable":
+    def from_chunks(
+        cls, chunks: Iterable[Table], store: ShardStore = None
+    ) -> "ShardedTable":
         """Seal an iterable of chunk tables (e.g. from the chunked CSV
-        reader) into a sharded table."""
-        return cls(list(chunks))
+        reader) into a sharded table, feeding them into ``store`` one at
+        a time — with a spill store, peak memory is one chunk.
+
+        ``store`` must be empty: silently appending after shards from an
+        earlier dataset would concatenate the two (pass a fresh store
+        per upload, or construct ``ShardedTable(store)`` directly to
+        adopt existing shards).
+        """
+        if store is None:
+            store = InMemoryShardStore()
+        elif store.n_shards:
+            raise TableError(
+                f"from_chunks needs an empty store, got one already holding "
+                f"{store.n_shards} shard(s)"
+            )
+        for chunk in chunks:
+            store.append(chunk)
+        return cls(store)
 
     # -- shape ----------------------------------------------------------------
 
     @property
+    def store(self) -> ShardStore:
+        """The backing shard store."""
+        return self._store
+
+    @property
     def shards(self) -> List[Table]:
-        return list(self._shards)
+        """All shards, materialized (loads every shard on a disk store —
+        prefer :meth:`iter_shards` or :meth:`shard_row_counts`)."""
+        return [self._store.get(i) for i in range(self._store.n_shards)]
+
+    def shard_row_counts(self) -> List[int]:
+        """Per-shard row counts in shard order (no shard loads)."""
+        return self._store.shard_row_counts()
 
     @property
     def n_shards(self) -> int:
-        return len(self._shards)
+        return self._store.n_shards
 
     @property
     def n_rows(self) -> int:
@@ -87,14 +125,14 @@ class ShardedTable:
 
     @property
     def n_columns(self) -> int:
-        return self._shards[0].n_columns
+        return len(self._store.schema)
 
     def column_names(self) -> List[str]:
-        return self._shards[0].column_names()
+        return self._store.column_names()
 
     @property
     def schema(self):
-        return self._shards[0].schema
+        return self._store.schema
 
     def __len__(self) -> int:
         return self._n_rows
@@ -126,17 +164,17 @@ class ShardedTable:
     def row(self, global_row: int) -> Tuple[str, ...]:
         """One logical row as a tuple of values, in schema order."""
         shard_index, local_row = self.locate(global_row)
-        return self._shards[shard_index].row(local_row)
+        return self._store.get(shard_index).row(local_row)
 
     def cell(self, global_row: int, name: str) -> str:
         """The value of one logical cell."""
         shard_index, local_row = self.locate(global_row)
-        return self._shards[shard_index].cell(local_row, name)
+        return self._store.get(shard_index).cell(local_row, name)
 
     def iter_shards(self) -> Iterator[Tuple[int, Table]]:
         """Yield ``(global offset, shard)`` pairs in row order."""
-        for offset, shard in zip(self._offsets, self._shards):
-            yield offset, shard
+        for index, offset in enumerate(self._offsets):
+            yield offset, self._store.get(index)
 
     # -- merged views -----------------------------------------------------------
 
@@ -147,7 +185,7 @@ class ShardedTable:
             ("column_concat", name),
             lambda: [
                 value
-                for shard in self._shards
+                for _offset, shard in self.iter_shards()
                 for value in shard.column_ref(name)
             ],
         )
@@ -163,7 +201,7 @@ class ShardedTable:
     def versions(self) -> Tuple[int, ...]:
         """The shards' mutation counters — the staleness key for every
         merged artifact."""
-        return tuple(shard.version for shard in self._shards)
+        return self._store.versions()
 
     def merged_artifact(self, key: Hashable, build) -> object:
         """A cached cross-shard artifact, rebuilt when any shard mutated.

@@ -1,0 +1,214 @@
+"""Pluggable shard storage behind :class:`ShardedTable`.
+
+A :class:`ShardStore` owns the per-shard :class:`~repro.dataset.table.Table`
+objects of one sharded dataset.  The sharded engines never hold shard
+lists themselves anymore — they address shards through the store, so the
+*where* of shard bytes (process memory, local disk, and in the future a
+remote object store) is swappable without touching discovery/detection.
+
+Two implementations ship today:
+
+* :class:`InMemoryShardStore` — the original behaviour: live ``Table``
+  objects in a list.  Mutation detection works through the shards' own
+  version counters.
+* :class:`SpillToDiskShardStore` — shards are written to CSV files in a
+  spill directory as they are appended and re-parsed on access, with a
+  small LRU of recently loaded shards; resident memory is bounded by
+  the LRU size no matter how many shards the dataset has.  Shards are
+  immutable by contract (see :class:`ShardedTable`), which is what makes
+  the spill round-trip safe.
+
+Every store validates on :meth:`~ShardStore.append` that all shards
+share one schema, so a half-built store can never be sealed into an
+inconsistent :class:`ShardedTable`.
+"""
+
+from __future__ import annotations
+
+import csv
+import tempfile
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import TableError
+
+
+class ShardStore(ABC):
+    """Ordered, append-only storage for the shards of one dataset."""
+
+    def __init__(self) -> None:
+        self._schema: Optional[Schema] = None
+
+    # -- schema ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise TableError("the shard store is empty; append a shard first")
+        return self._schema
+
+    def column_names(self) -> List[str]:
+        return self.schema.names()
+
+    def _check_schema(self, shard: Table) -> None:
+        """Shared append-time validation: all shards share one schema."""
+        if self._schema is None:
+            self._schema = shard.schema
+            return
+        if shard.column_names() != self._schema.names():
+            raise TableError(
+                f"shard {self.n_shards} has columns {shard.column_names()}, "
+                f"expected {self._schema.names()} (all shards must share one schema)"
+            )
+
+    # -- the storage contract ----------------------------------------------------
+
+    @property
+    @abstractmethod
+    def n_shards(self) -> int:
+        """How many shards have been appended."""
+
+    @abstractmethod
+    def append(self, shard: Table) -> None:
+        """Store one shard (validating its schema against the first)."""
+
+    @abstractmethod
+    def shard_row_counts(self) -> List[int]:
+        """Per-shard row counts, in shard order (cheap — no shard loads)."""
+
+    @abstractmethod
+    def get(self, index: int) -> Table:
+        """The shard at ``index`` (may load from backing storage)."""
+
+    @abstractmethod
+    def versions(self) -> Tuple[int, ...]:
+        """Per-shard mutation counters — the staleness key for merged
+        artifacts built over this store."""
+
+    def close(self) -> None:
+        """Release backing resources (a no-op for in-memory stores)."""
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+
+class InMemoryShardStore(ShardStore):
+    """Shards held as live :class:`Table` objects — the default store."""
+
+    def __init__(self, shards: Optional[List[Table]] = None):
+        super().__init__()
+        self._shards: List[Table] = []
+        for shard in shards or ():
+            self.append(shard)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def append(self, shard: Table) -> None:
+        self._check_schema(shard)
+        self._shards.append(shard)
+
+    def shard_row_counts(self) -> List[int]:
+        return [shard.n_rows for shard in self._shards]
+
+    def get(self, index: int) -> Table:
+        return self._shards[index]
+
+    def versions(self) -> Tuple[int, ...]:
+        # live counters: a shard mutated behind our back changes the
+        # tuple, invalidating every merged artifact built over it
+        return tuple(shard.version for shard in self._shards)
+
+
+class SpillToDiskShardStore(ShardStore):
+    """Shards spilled to CSV files; resident memory bounded by a small LRU.
+
+    Parameters
+    ----------
+    directory:
+        Where the shard files go.  ``None`` creates a private temporary
+        directory that is removed on :meth:`close` (or interpreter
+        exit).
+    cache_shards:
+        How many recently accessed shards stay parsed in memory.  ``1``
+        (the default) is enough for the sharded engines, which walk the
+        shards sequentially.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None, cache_shards: int = 1):
+        super().__init__()
+        if cache_shards < 1:
+            raise TableError(f"cache_shards must be >= 1, got {cache_shards}")
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if directory is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            directory = self._tmpdir.name
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._cache_shards = cache_shards
+        #: per-shard (path, row count, version-at-append)
+        self._meta: List[Tuple[Path, int, int]] = []
+        self._loaded: "OrderedDict[int, Table]" = OrderedDict()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._meta)
+
+    def append(self, shard: Table) -> None:
+        self._check_schema(shard)
+        path = self.directory / f"shard_{len(self._meta):06d}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            for row in shard.iter_rows():
+                writer.writerow(row)
+        self._meta.append((path, shard.n_rows, shard.version))
+
+    def shard_row_counts(self) -> List[int]:
+        return [n_rows for _path, n_rows, _version in self._meta]
+
+    def get(self, index: int) -> Table:
+        cached = self._loaded.get(index)
+        if cached is not None:
+            self._loaded.move_to_end(index)
+            return cached
+        path, n_rows, _version = self._meta[index]
+        width = len(self.schema)
+        columns: List[List[str]] = [[] for _ in range(width)]
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            for row in reader:
+                if len(row) != width:
+                    # strict like the csvio readers: a ragged row is
+                    # corruption, never silently padded or truncated
+                    raise TableError(
+                        f"spill file {path.name} line {reader.line_num} has "
+                        f"{len(row)} fields, expected {width} (corrupted?)"
+                    )
+                for column, value in zip(columns, row):
+                    column.append(value)
+        shard = Table(self.schema, columns)
+        if shard.n_rows != n_rows:
+            raise TableError(
+                f"spilled shard {index} read back {shard.n_rows} rows, "
+                f"expected {n_rows} (spill file corrupted?)"
+            )
+        self._loaded[index] = shard
+        while len(self._loaded) > self._cache_shards:
+            self._loaded.popitem(last=False)
+        return shard
+
+    def versions(self) -> Tuple[int, ...]:
+        # spilled shards are frozen at append time; the recorded counters
+        # are the stable staleness key
+        return tuple(version for _path, _n_rows, version in self._meta)
+
+    def close(self) -> None:
+        self._loaded.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

@@ -168,10 +168,98 @@ class TestShardRows:
             main(["detect", "--csv", str(path), "--shard-rows", "1"])
 
     def test_sharded_discover_matches_monolithic_rules(self, tmp_path, capsys):
+        import re
+
+        def strip_timing(text):
+            # the header embeds wall-clock ("... in 0.02s") — not part of
+            # the rule-set contract under comparison
+            return re.sub(r"in \d+\.\d+s", "in Xs", text)
+
         dataset = build_dataset("zip_city_state", n_rows=200)
         path = tmp_path / "zips.csv"
         write_csv(dataset.table, path)
         assert main(["discover", "--csv", str(path)]) == 0
         monolithic = capsys.readouterr().out
         assert main(["discover", "--csv", str(path), "--shard-rows", "32"]) == 0
-        assert capsys.readouterr().out == monolithic
+        assert strip_timing(capsys.readouterr().out) == strip_timing(monolithic)
+
+
+class TestExecutorFlags:
+    """--executor / --n-workers / --explain-plan on discover and detect."""
+
+    def test_executor_flag_parses_on_both_subcommands(self):
+        for command in ("discover", "detect"):
+            args = build_parser().parse_args([command, "--executor", "sharded"])
+            assert args.executor == "sharded"
+            args = build_parser().parse_args([command, "--n-workers", "2"])
+            assert args.n_workers == 2
+        with pytest.raises(SystemExit):  # argparse usage error, exit 2
+            build_parser().parse_args(["detect", "--executor", "remote"])
+
+    def test_forced_executors_report_identically(self, capsys):
+        outputs = {}
+        for executor in ("serial", "parallel", "sharded"):
+            code = main(
+                [
+                    "detect",
+                    "--dataset", "paper_d2_zip",
+                    "--min-coverage", "0.4",
+                    "--allowed-violations", "0.3",
+                    "--executor", executor,
+                ]
+            )
+            assert code == EXIT_VIOLATIONS_FOUND
+            outputs[executor] = capsys.readouterr().out
+        # same violations; only the strategy label differs on sharded
+        assert outputs["parallel"] == outputs["serial"]
+        assert outputs["sharded"].splitlines()[0] == (
+            outputs["serial"].splitlines()[0].replace("auto", "sharded")
+        )
+
+    def test_explain_plan_prints_before_running(self, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--shard-rows", "8",
+                "--explain-plan",
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        out = capsys.readouterr().out
+        assert "execution plan (discovery): backend=sharded" in out
+        assert "execution plan (detection): backend=sharded" in out
+        # the plans print before any report output
+        assert out.index("execution plan") < out.index("violations over")
+
+    def test_explain_plan_on_discover(self, capsys):
+        code = main(
+            [
+                "discover",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--explain-plan",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution plan (discovery): backend=serial" in out
+
+    def test_n_workers_detect_matches_serial(self, capsys):
+        baseline = main(
+            ["detect", "--dataset", "phone_state", "--min-coverage", "0.5"]
+        )
+        serial_out = capsys.readouterr().out
+        code = main(
+            [
+                "detect",
+                "--dataset", "phone_state",
+                "--min-coverage", "0.5",
+                "--n-workers", "2",
+            ]
+        )
+        assert code == baseline == EXIT_VIOLATIONS_FOUND
+        assert capsys.readouterr().out == serial_out

@@ -277,7 +277,9 @@ class TestShardedSession:
         assert report.strategy == "sharded"
         assert report.canonical_violations() == mono.violations.canonical_violations()
 
-    def test_explicit_strategy_overrides_sharding(self, small_zip_city_state):
+    def test_explicit_strategy_overrides_sharding_and_warns(self, small_zip_city_state):
+        from repro.engine import PlanWarning
+
         session = AnmatSession(
             dataset_name="explicit",
             config=DiscoveryConfig(min_coverage=0.5, shard_rows=64),
@@ -285,8 +287,80 @@ class TestShardedSession:
         session.load_table(small_zip_city_state.table.copy())
         session.run_discovery()
         session.confirm_all()
-        report = session.run_detection(strategy="scan")
+        # regression: this fallback used to be silent — the planner must
+        # record it on the plan and warn so users know why shard
+        # parallelism was skipped
+        with pytest.warns(PlanWarning, match="shard parallelism is skipped"):
+            report = session.run_detection(strategy="scan")
         assert report.strategy == "scan"
+        assert session.last_plan.backend == "serial"
+        assert any("skipped" in d for d in session.last_plan.decisions)
+
+    def test_plans_are_exposed_and_recorded(self, small_zip_city_state):
+        session = AnmatSession(
+            dataset_name="planned",
+            config=DiscoveryConfig(min_coverage=0.5, shard_rows=64),
+        )
+        session.load_table(small_zip_city_state.table.copy())
+        plan = session.plan_discovery()
+        assert plan.backend == "sharded"
+        assert plan.shard_rows == 64
+        session.run_discovery()
+        assert session.last_plan.kind == "discovery"
+        assert session.last_plan.backend == "sharded"
+        session.confirm_all()
+        session.run_detection()
+        assert session.last_plan.kind == "detection"
+        assert session.last_plan.backend == "sharded"
+
+    def test_forced_executor_param(self, small_zip_city_state):
+        mono = self._monolithic(small_zip_city_state)
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(small_zip_city_state.table.copy())
+        session.run_discovery(executor="sharded")
+        assert session.last_plan.backend == "sharded"
+        assert [p.describe() for p in session.discovered_pfds()] == [
+            p.describe() for p in mono.discovered_pfds()
+        ]
+        session.confirm_all()
+        report = session.run_detection(executor="sharded")
+        assert report.strategy == "sharded"
+        assert report.canonical_violations() == mono.violations.canonical_violations()
+
+    def test_upload_csv_streams_into_store(self, tmp_path, small_zip_city_state):
+        from repro.dataset.csvio import write_csv
+        from repro.sharding import SpillToDiskShardStore
+
+        mono = self._monolithic(small_zip_city_state)
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        session = AnmatSession(
+            dataset_name="streamed", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        session.upload_csv(path, shard_rows=40, store=store)
+        assert store.n_shards > 1  # the document was chunked into the store
+        assert session.table.n_rows == small_zip_city_state.table.n_rows
+        session.run_discovery()
+        assert session.last_plan.backend == "sharded"
+        assert session.last_plan.shard_rows == 40
+        session.confirm_all()
+        report = session.run_detection()
+        assert report.strategy == "sharded"
+        assert report.canonical_violations() == mono.violations.canonical_violations()
+
+    def test_upload_csv_defaults_shard_size_from_config(self, tmp_path, small_zip_city_state):
+        from repro.dataset.csvio import write_csv
+
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        session = AnmatSession(
+            dataset_name="cfg", config=DiscoveryConfig(min_coverage=0.5, shard_rows=32)
+        )
+        session.upload_csv(path)
+        assert session.plan_discovery().shard_rows == 32
 
     def test_edit_loop_works_after_sharded_detection(self, small_zip_city_state):
         session = AnmatSession(

@@ -1,0 +1,201 @@
+"""Planner unit tests: the full routing matrix.
+
+Every combination of (shard_rows, n_workers, strategy, upload kind,
+requested executor) must resolve to a deterministic backend, with the
+decisions recorded on the plan and the silent-override case warning.
+"""
+
+import warnings
+
+import pytest
+
+from repro.detection import DetectionStrategy
+from repro.discovery import DiscoveryConfig
+from repro.engine import (
+    DEFAULT_PARALLEL_WORKERS,
+    DEFAULT_SHARD_ROWS,
+    ExecutionBackend,
+    PlanWarning,
+    plan_detection,
+    plan_discovery,
+    plan_run,
+)
+from repro.errors import DetectionError
+
+
+def config(shard_rows=0, n_workers=0):
+    return DiscoveryConfig(shard_rows=shard_rows, n_workers=n_workers)
+
+
+class TestAutoRouting:
+    """executor='auto': the planner routes on config and upload kind."""
+
+    @pytest.mark.parametrize("kind", ["discovery", "detection"])
+    def test_default_is_serial(self, kind):
+        plan = plan_run(kind, 100, config())
+        assert plan.backend == ExecutionBackend.SERIAL
+        assert plan.shard_rows == 0
+        assert plan.n_shards == 0
+        assert plan.decisions == []
+
+    @pytest.mark.parametrize("kind", ["discovery", "detection"])
+    def test_n_workers_routes_parallel(self, kind):
+        plan = plan_run(kind, 100, config(n_workers=4))
+        assert plan.backend == ExecutionBackend.PARALLEL
+        assert plan.n_workers == 4
+
+    @pytest.mark.parametrize("kind", ["discovery", "detection"])
+    def test_shard_rows_routes_sharded(self, kind):
+        plan = plan_run(kind, 100, config(shard_rows=30))
+        assert plan.backend == ExecutionBackend.SHARDED
+        assert plan.shard_rows == 30
+        assert plan.n_shards == 4  # ceil(100 / 30)
+
+    @pytest.mark.parametrize("kind", ["discovery", "detection"])
+    def test_sharded_upload_routes_sharded(self, kind):
+        plan = plan_run(kind, 100, config(), sharded_upload=True, upload_shard_rows=25)
+        assert plan.backend == ExecutionBackend.SHARDED
+        assert plan.shard_rows == 25  # keeps the upload's partition
+
+    def test_shard_rows_beats_n_workers_and_keeps_fanout(self):
+        # both knobs: sharded backend, workers fan out the extraction
+        plan = plan_run("discovery", 100, config(shard_rows=10, n_workers=3))
+        assert plan.backend == ExecutionBackend.SHARDED
+        assert plan.n_workers == 3
+
+    def test_config_shard_rows_beats_upload_partition(self):
+        plan = plan_run(
+            "discovery", 100, config(shard_rows=40), sharded_upload=True,
+            upload_shard_rows=25,
+        )
+        assert plan.shard_rows == 40
+
+
+class TestExplicitStrategyPinsMonolithic:
+    """The recorded-and-warned fallback: an explicit detection strategy
+    on a sharded dataset skips shard parallelism (regression for the
+    silent `strategy == AUTO` special case in the old session)."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [DetectionStrategy.SCAN, DetectionStrategy.INDEX, DetectionStrategy.BRUTEFORCE],
+    )
+    def test_explicit_strategy_on_sharded_config_warns(self, strategy):
+        with pytest.warns(PlanWarning, match="shard parallelism is skipped"):
+            plan = plan_detection(100, config(shard_rows=10), strategy=strategy)
+        assert plan.backend == ExecutionBackend.SERIAL
+        assert plan.strategy == strategy
+        assert any("skipped" in decision for decision in plan.decisions)
+
+    def test_explicit_strategy_on_sharded_upload_warns(self):
+        with pytest.warns(PlanWarning):
+            plan = plan_detection(
+                100, config(), strategy="scan", sharded_upload=True,
+                upload_shard_rows=25,
+            )
+        assert plan.backend == ExecutionBackend.SERIAL
+
+    def test_explicit_strategy_with_workers_falls_back_to_parallel(self):
+        with pytest.warns(PlanWarning):
+            plan = plan_detection(
+                100, config(shard_rows=10, n_workers=2), strategy="index"
+            )
+        assert plan.backend == ExecutionBackend.PARALLEL
+        assert plan.strategy == "index"
+
+    def test_auto_strategy_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan = plan_detection(100, config(shard_rows=10))
+        assert plan.backend == ExecutionBackend.SHARDED
+
+    def test_explicit_strategy_monolithic_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan = plan_detection(100, config(), strategy="scan")
+        assert plan.backend == ExecutionBackend.SERIAL
+        assert plan.strategy == "scan"
+
+    def test_discovery_ignores_strategy(self):
+        plan = plan_discovery(100, config(shard_rows=10))
+        assert plan.strategy == DetectionStrategy.AUTO
+
+
+class TestExplicitExecutors:
+    """executor != 'auto' forces the backend (with decisions recorded)."""
+
+    def test_serial_overrides_sharding_request(self):
+        plan = plan_run("discovery", 100, config(shard_rows=10), executor="serial")
+        assert plan.backend == ExecutionBackend.SERIAL
+        assert any("serial executor requested" in d for d in plan.decisions)
+
+    def test_parallel_overrides_sharding_request(self):
+        plan = plan_run("discovery", 100, config(shard_rows=10), executor="parallel")
+        assert plan.backend == ExecutionBackend.PARALLEL
+
+    def test_parallel_defaults_workers(self):
+        plan = plan_run("discovery", 100, config(), executor="parallel")
+        assert plan.n_workers == DEFAULT_PARALLEL_WORKERS
+        assert any("defaulting" in d for d in plan.decisions)
+
+    def test_parallel_keeps_configured_workers(self):
+        plan = plan_run("discovery", 100, config(n_workers=8), executor="parallel")
+        assert plan.n_workers == 8
+
+    def test_serial_zeroes_ignored_workers(self):
+        # the plan must describe what actually runs: the serial backend
+        # never uses workers, so the knob is zeroed with a decision
+        plan = plan_run("discovery", 100, config(n_workers=4), executor="serial")
+        assert plan.n_workers == 0
+        assert any("is ignored" in d for d in plan.decisions)
+
+    def test_sharded_defaults_shard_rows(self):
+        plan = plan_run("discovery", 100, config(), executor="sharded")
+        assert plan.backend == ExecutionBackend.SHARDED
+        assert plan.shard_rows == DEFAULT_SHARD_ROWS
+        assert plan.n_shards == 1
+
+    def test_sharded_uses_upload_partition(self):
+        plan = plan_run(
+            "discovery", 100, config(), executor="sharded",
+            sharded_upload=True, upload_shard_rows=25,
+        )
+        assert plan.shard_rows == 25
+
+    def test_sharded_executor_with_explicit_strategy_still_falls_back(self):
+        with pytest.warns(PlanWarning):
+            plan = plan_detection(
+                100, config(), strategy="bruteforce", executor="sharded"
+            )
+        assert plan.backend == ExecutionBackend.SERIAL
+        assert plan.strategy == "bruteforce"
+
+
+class TestValidationAndShape:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan kind"):
+            plan_run("profile", 10, config())
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            plan_run("discovery", 10, config(), executor="remote")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(DetectionError, match="unknown strategy"):
+            plan_detection(10, config(), strategy="quantum")
+
+    def test_zero_row_table_plans_one_shard(self):
+        plan = plan_run("discovery", 0, config(shard_rows=10))
+        assert plan.n_shards == 1
+
+    def test_describe_mentions_backend_and_decisions(self):
+        plan = plan_detection(100, config(shard_rows=30))
+        text = plan.describe()
+        assert "backend=sharded" in text
+        assert "shards=4x30" in text
+        assert "execution plan (detection)" in text
+        assert all(decision in text for decision in plan.decisions)
+
+    def test_describe_monolithic_mentions_strategy(self):
+        plan = plan_detection(100, config(), strategy="scan")
+        assert "strategy=scan" in plan.describe()

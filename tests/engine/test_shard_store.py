@@ -1,0 +1,144 @@
+"""Unit tests for the pluggable shard stores."""
+
+import pytest
+
+from repro.dataset import Table
+from repro.errors import TableError
+from repro.sharding import (
+    InMemoryShardStore,
+    ShardedTable,
+    SpillToDiskShardStore,
+)
+
+
+def make_shard(values):
+    return Table.from_rows(["code", "label"], values)
+
+
+SHARD_A = [["10", "x"], ["20", "y"]]
+SHARD_B = [["30", "z"]]
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryShardStore()
+    return SpillToDiskShardStore(tmp_path / "spill")
+
+
+class TestStoreContract:
+    def test_append_get_roundtrip(self, store):
+        store.append(make_shard(SHARD_A))
+        store.append(make_shard(SHARD_B))
+        assert store.n_shards == 2
+        assert len(store) == 2
+        assert store.shard_row_counts() == [2, 1]
+        assert store.get(0).column("code") == ["10", "20"]
+        assert store.get(1).row(0) == ("30", "z")
+        assert store.column_names() == ["code", "label"]
+
+    def test_schema_mismatch_rejected(self, store):
+        store.append(make_shard(SHARD_A))
+        with pytest.raises(TableError, match="shard 1 has columns"):
+            store.append(Table.from_rows(["code", "other"], SHARD_B))
+
+    def test_empty_store_has_no_schema(self, store):
+        with pytest.raises(TableError, match="empty"):
+            store.schema
+
+    def test_versions_are_stable(self, store):
+        store.append(make_shard(SHARD_A))
+        assert store.versions() == store.versions()
+
+    def test_sealed_into_sharded_table(self, store):
+        store.append(make_shard(SHARD_A))
+        store.append(make_shard(SHARD_B))
+        sharded = ShardedTable(store)
+        assert sharded.n_rows == 3
+        assert sharded.column_concat("code") == ["10", "20", "30"]
+        assert sharded.cell(2, "label") == "z"
+        assert sharded.store is store
+
+
+class TestSpillToDisk:
+    def test_round_trips_awkward_values(self, tmp_path):
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        awkward = [
+            ['has,comma', 'has "quote"'],
+            ["multi\nline", ""],
+            ["  padded  ", "naïve·unicode"],
+        ]
+        store.append(make_shard(awkward))
+        assert [list(row) for row in store.get(0).iter_rows()] == awkward
+
+    def test_lru_keeps_memory_bounded(self, tmp_path):
+        store = SpillToDiskShardStore(tmp_path / "spill", cache_shards=1)
+        store.append(make_shard(SHARD_A))
+        store.append(make_shard(SHARD_B))
+        first = store.get(0)
+        assert store.get(0) is first  # cached
+        store.get(1)  # evicts shard 0 from the one-slot LRU
+        assert store.get(0) is not first  # re-parsed from disk
+        assert store.get(0).column("code") == first.column("code")
+
+    def test_files_live_in_directory(self, tmp_path):
+        directory = tmp_path / "spill"
+        store = SpillToDiskShardStore(directory)
+        store.append(make_shard(SHARD_A))
+        assert sorted(p.name for p in directory.iterdir()) == ["shard_000000.csv"]
+
+    def test_private_tempdir_removed_on_close(self):
+        store = SpillToDiskShardStore()
+        store.append(make_shard(SHARD_A))
+        directory = store.directory
+        assert directory.exists()
+        store.close()
+        assert not directory.exists()
+
+    def test_zero_row_shard_roundtrip(self, tmp_path):
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        store.append(Table.empty(["code", "label"]))
+        assert store.get(0).n_rows == 0
+        assert store.shard_row_counts() == [0]
+
+    def test_corrupted_spill_file_rejected_with_line(self, tmp_path):
+        store = SpillToDiskShardStore(tmp_path / "spill", cache_shards=1)
+        store.append(make_shard(SHARD_A))
+        path = tmp_path / "spill" / "shard_000000.csv"
+        path.write_text("10,x\n20,y,EXTRA\n")
+        with pytest.raises(TableError, match="line 2 has 3 fields"):
+            store.get(0)
+
+    def test_bad_cache_size_rejected(self, tmp_path):
+        with pytest.raises(TableError, match="cache_shards"):
+            SpillToDiskShardStore(tmp_path, cache_shards=0)
+
+
+class TestStreamingIngest:
+    def test_from_chunks_feeds_store_incrementally(self, tmp_path):
+        store = SpillToDiskShardStore(tmp_path / "spill", cache_shards=1)
+        chunks = (make_shard([[str(i), "v"]]) for i in range(5))
+        sharded = ShardedTable.from_chunks(chunks, store=store)
+        assert sharded.n_shards == 5
+        assert sharded.column_concat("code") == [str(i) for i in range(5)]
+
+    def test_from_chunks_rejects_prepopulated_store(self, tmp_path):
+        # regression: re-uploading into a used store would silently
+        # concatenate the two datasets
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        ShardedTable.from_chunks([make_shard(SHARD_A)], store=store)
+        with pytest.raises(TableError, match="empty store"):
+            ShardedTable.from_chunks([make_shard(SHARD_B)], store=store)
+        # adopting existing shards stays possible via the constructor
+        assert ShardedTable(store).n_rows == 2
+
+    def test_read_csv_sharded_into_spill_store(self, tmp_path):
+        from repro.dataset.csvio import read_csv_sharded
+
+        path = tmp_path / "data.csv"
+        path.write_text("code,label\n10,x\n20,y\n30,z\n")
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        sharded = read_csv_sharded(path, 2, store=store)
+        assert sharded.n_shards == 2
+        assert sharded.column_concat("code") == ["10", "20", "30"]
+        assert store.n_shards == 2

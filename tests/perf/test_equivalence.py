@@ -99,10 +99,15 @@ class TestDiscoveryEquivalence:
         assert warm_caches == uncached
 
     def test_parallel_equals_serial(self, dataset, zip_table, employee_table):
+        from repro.engine import DataSource, build_executor, plan_discovery
+
         table = self._table(dataset, zip_table, employee_table)
         serial = canonical_discovery(PfdDiscoverer().discover_with_report(table))
+        config = DiscoveryConfig(n_workers=2)
+        plan = plan_discovery(table.n_rows, config)
+        assert plan.backend == "parallel"
         parallel = canonical_discovery(
-            PfdDiscoverer(DiscoveryConfig(n_workers=2)).discover_with_report(table)
+            build_executor(plan).run_discovery(plan, DataSource(table))
         )
         assert parallel == serial
 

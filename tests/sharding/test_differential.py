@@ -113,8 +113,10 @@ class TestDifferential:
         )
 
     def test_detection_equal_with_worker_fanout(self, name, n_rows, specs, seed):
-        """The n_workers > 1 extraction path (process pool, or its serial
+        """The pooled shard-map path (process pool, or its serial
         fallback) must not change the merged statistics."""
+        from repro.engine import make_shard_map
+
         table = dirty_table(name, n_rows, specs, seed)
         pfds = PfdDiscoverer(CONFIG).discover(table)
         if not pfds:
@@ -123,6 +125,8 @@ class TestDifferential:
         serial = ShardedDetector(sharded).detect_all(pfds).canonical_violations()
         fanned = ShardedTable.from_table(table, max(1, table.n_rows // 3))
         parallel = (
-            ShardedDetector(fanned, n_workers=2).detect_all(pfds).canonical_violations()
+            ShardedDetector(fanned, shard_map=make_shard_map(2))
+            .detect_all(pfds)
+            .canonical_violations()
         )
         assert parallel == serial

@@ -77,7 +77,7 @@ class TestShardedTable:
         sharded.merged_artifact("k", build)
         sharded.merged_artifact("k", build)
         assert len(builds) == 1  # cached
-        sharded._shards[0].set_cell(0, "code", "999")
+        sharded.store.get(0).set_cell(0, "code", "999")
         sharded.merged_artifact("k", build)
         assert len(builds) == 2  # version change rebuilt
 
