@@ -67,7 +67,13 @@ def _lambda5() -> PFD:
 
 def _bench_discovery(n_rows: int) -> Tuple[Callable[[], object], int]:
     table = generate_zip_city_state(n_rows=n_rows, seed=23).table
-    return (lambda: PfdDiscoverer().discover(table)), (2 if n_rows >= 4000 else 3)
+    discoverer = PfdDiscoverer()
+
+    def run() -> object:
+        return discoverer.discover(table)
+
+    run.stage_timers = discoverer.timers
+    return run, (2 if n_rows >= 4000 else 3)
 
 
 def _bench_detection(strategy: str, n_rows: int = 2000) -> Tuple[Callable[[], object], int]:
@@ -141,16 +147,29 @@ def _bench_edit_loop(n_rows: int = 8000, k: int = 40):
 
 
 def _bench_sharded_discovery(n_rows: int = 64000, shard_rows: int = 8000):
-    """Sharded discovery at out-of-core scale (recorded unpaired: its
-    merge reproduces the monolithic statistics, so wall-clock parity —
-    not speedup — is the property of interest on one worker)."""
+    """Sharded discovery at out-of-core scale: vectorized kernels vs the
+    same-tree scalar reference.
+
+    A paired bench: the recorded baseline runs the identical sharded
+    pipeline with ``use_kernels="off"`` over the same sharded table, so
+    the persisted speedup isolates the columnar kernel layer (the two
+    paths produce identical rule sets — the differential suite proves
+    it).  Both sides run warm; their merged artifacts use disjoint cache
+    keys, so neither primes the other.
+    """
     table = generate_zip_city_state(n_rows=n_rows, seed=23).table
     sharded = ShardedTable.from_table(table, shard_rows)
+    kernel = ShardedDiscoverer(DiscoveryConfig(use_kernels="on"))
+    scalar = ShardedDiscoverer(DiscoveryConfig(use_kernels="off"))
 
     def run() -> object:
-        return ShardedDiscoverer().discover(sharded)
+        return kernel.discover(sharded)
 
-    return run, 2
+    def baseline_run() -> object:
+        return scalar.discover(sharded)
+
+    run.stage_timers = kernel.discoverer.timers
+    return run, 2, baseline_run
 
 
 def _bench_sharded_detection(n_rows: int = 64000, shard_rows: int = 8000):
@@ -166,13 +185,15 @@ def _bench_sharded_detection(n_rows: int = 64000, shard_rows: int = 8000):
     pfds = PfdDiscoverer().discover(table)
     assert pfds, "sharded-detection setup discovered no PFDs"
     sharded = ShardedTable.from_table(table, shard_rows)
+    detector = ShardedDetector(sharded)
 
     def run() -> object:
-        return ShardedDetector(sharded).detect_all(pfds)
+        return detector.detect_all(pfds)
 
     def baseline_run() -> object:
         return ErrorDetector(table).detect_all(pfds)
 
+    run.stage_timers = detector.timers
     return run, 5, baseline_run
 
 
@@ -233,7 +254,12 @@ REQUIRED_BENCHES = (
 #: single-worker path at 64k rows — with or without the engine seam in
 #: between, so the plan/executor layer is gated at no regression vs the
 #: PR-4 direct-call numbers)
-SPEEDUP_FLOORS = {"sharded_detection_64000": 2.0, "engine_parity_64000": 2.0}
+SPEEDUP_FLOORS = {
+    "sharded_detection_64000": 2.0,
+    "engine_parity_64000": 2.0,
+    # the vectorized kernel path must stay >= 2x its scalar reference
+    "sharded_discovery_64000": 2.0,
+}
 
 
 def measure(run: Callable[[], object], rounds: int, cold: bool) -> float:
@@ -335,6 +361,11 @@ def main(argv: List[str] | None = None) -> int:
         base = baseline.get(name)
         speedup = f"  ({base / seconds:.2f}x vs baseline)" if base else ""
         print(f"{name:32s} {seconds * 1000:10.2f} ms{speedup}")
+        timers = getattr(run, "stage_timers", None)
+        if timers is not None and timers.totals():
+            # per-stage wall clock accumulated across the measured rounds
+            for line in timers.summary().splitlines():
+                print(f"    {line}")
 
     payload = {
         "_meta": {
@@ -345,9 +376,10 @@ def main(argv: List[str] | None = None) -> int:
                 "seconds are best-of-N wall clock; 'baseline' is the pre-PR "
                 "tree, 'current' the tree at measurement time -- except for "
                 "paired benches (incremental_edit_loop_*, sharded_detection_*, "
-                "engine_parity_*), whose baseline is their same-tree reference "
-                "workload (full re-detection / monolithic single-worker "
-                "detection / serial-executor detection through the engine)"
+                "engine_parity_*, sharded_discovery_*), whose baseline is their "
+                "same-tree reference workload (full re-detection / monolithic "
+                "single-worker detection / serial-executor detection through "
+                "the engine / scalar kernels-off sharded discovery)"
             ),
         },
         "baseline": baseline,

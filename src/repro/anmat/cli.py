@@ -55,6 +55,7 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         allowed_violation_ratio=args.allowed_violations,
         shard_rows=getattr(args, "shard_rows", 0),
         n_workers=getattr(args, "n_workers", 0),
+        use_kernels=getattr(args, "use_kernels", "auto"),
     )
     session = AnmatSession(dataset_name=label, config=config)
     session.load_table(table)
@@ -116,6 +117,18 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "processes (candidate mining, per-rule detection, per-shard "
             "extraction); results are identical to a serial run "
             "(0 = serial, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--use-kernels",
+        default="auto",
+        choices=("auto", "on", "off"),
+        help=(
+            "vectorized columnar kernels for the discovery/detection hot "
+            "paths: 'auto' uses them exactly when numpy is importable, "
+            "'on' requests them (degrading to the scalar path without "
+            "numpy), 'off' forces the scalar path; results are identical "
+            "either way"
         ),
     )
 

@@ -63,6 +63,14 @@ class DiscoveryConfig:
         ``0`` runs monolithically; ``>0`` routes discovery and detection
         to the sharded backend over shards of this many rows (identical
         rule sets, canonically equal violations).
+    use_kernels:
+        Whether the vectorized columnar kernels
+        (:mod:`repro.kernels`) run the discovery/detection hot paths.
+        ``"auto"`` (the default) uses them exactly when numpy is
+        importable; ``"on"`` requests them (degrading to the scalar path
+        when numpy is absent — results are identical either way);
+        ``"off"`` forces the scalar path.  The execution plan records
+        the resolved choice.
     """
 
     min_coverage: float = 0.6
@@ -79,6 +87,7 @@ class DiscoveryConfig:
     max_constrained_token_position: int = 3
     n_workers: int = 0
     shard_rows: int = 0
+    use_kernels: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -100,6 +109,10 @@ class DiscoveryConfig:
             raise DiscoveryError(f"ngram_size must be >= 1, got {self.ngram_size}")
         if self.max_tableau_rows < 1:
             raise DiscoveryError(f"max_tableau_rows must be >= 1, got {self.max_tableau_rows}")
+        if self.use_kernels not in ("auto", "on", "off"):
+            raise DiscoveryError(
+                f"use_kernels must be 'auto', 'on' or 'off', got {self.use_kernels!r}"
+            )
 
     @property
     def min_agreement(self) -> float:

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.decision import DecisionFunction, MajorityDecision, PatternTupleCandidate
 from repro.discovery.inverted_index import ColumnTokenization, InvertedList
+from repro.perf.timers import StageTimers, stage_or_null
 
 
 class ConstantPfdMiner:
@@ -34,6 +35,7 @@ class ConstantPfdMiner:
         rhs_values: Sequence[str],
         mode: str,
         tokenization: Optional[ColumnTokenization] = None,
+        timers: Optional[StageTimers] = None,
     ) -> List[PatternTupleCandidate]:
         """Return the selected pattern tuples for ``A → B``.
 
@@ -41,23 +43,27 @@ class ConstantPfdMiner:
         (``"token"``, ``"ngram"`` or ``"prefix"``).  ``tokenization``
         optionally supplies the LHS column's prebuilt single-pass
         tokenization (see :class:`ColumnTokenization`) so candidates
-        sharing an LHS column do not re-tokenize it.
+        sharing an LHS column do not re-tokenize it.  ``timers``
+        optionally attributes the index-build and decision phases to
+        pipeline stages.
         """
-        if tokenization is not None and tokenization.mode == mode:
-            index = InvertedList.from_tokenization(tokenization, rhs_values)
-        else:
-            index = InvertedList.build(
-                lhs_values,
-                rhs_values,
-                mode=mode,
-                ngram_size=self.config.ngram_size,
-            )
-        candidates: List[PatternTupleCandidate] = []
-        for entry in index.entries(min_support=self.config.min_support):
-            candidate = self.decision.decide(entry, lhs_values, self.config)
-            if candidate is not None:
-                candidates.append(candidate)
-        return self.select(candidates)
+        with stage_or_null(timers, "index_build"):
+            if tokenization is not None and tokenization.mode == mode:
+                index = InvertedList.from_tokenization(tokenization, rhs_values)
+            else:
+                index = InvertedList.build(
+                    lhs_values,
+                    rhs_values,
+                    mode=mode,
+                    ngram_size=self.config.ngram_size,
+                )
+        with stage_or_null(timers, "mine_constant"):
+            candidates: List[PatternTupleCandidate] = []
+            for entry in index.entries(min_support=self.config.min_support):
+                candidate = self.decision.decide(entry, lhs_values, self.config)
+                if candidate is not None:
+                    candidates.append(candidate)
+            return self.select(candidates)
 
     def select(self, candidates: List[PatternTupleCandidate]) -> List[PatternTupleCandidate]:
         """Greedy redundancy elimination.

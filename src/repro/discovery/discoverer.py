@@ -18,10 +18,18 @@ from repro.dataset.table import Table
 from repro.discovery.candidates import CandidateDependency, candidate_dependencies
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.constant_miner import ConstantPfdMiner
-from repro.discovery.decision import DecisionFunction, PatternTupleCandidate
+from repro.discovery.decision import (
+    DecisionFunction,
+    MajorityDecision,
+    PatternTupleCandidate,
+)
 from repro.discovery.inverted_index import ColumnTokenization
 from repro.discovery.variable_miner import VariableCandidate, VariablePfdMiner
-from repro.perf.timers import StageTimers
+from repro.kernels.encoder import ColumnEncoding, encode_column
+from repro.kernels.runtime import kernels_enabled
+from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
+from repro.perf import TABLE_ARTIFACTS
+from repro.perf.timers import StageTimers, stage_or_null
 from repro.pfd.pfd import PFD
 from repro.pfd.tableau import WILDCARD
 
@@ -190,6 +198,8 @@ class PfdDiscoverer:
         :class:`ColumnTokenization`, so a table with many RHS columns no
         longer re-tokenizes the LHS per candidate.
         """
+        if kernels_enabled(self.config.use_kernels):
+            return self._mine_serial_kernel(table, candidates)
         tokenizations: Dict[Tuple[str, str], ColumnTokenization] = {}
         reports: List[DependencyReport] = []
         for candidate in candidates:
@@ -198,11 +208,12 @@ class PfdDiscoverer:
                 key = (candidate.lhs, candidate.lhs_mode)
                 tokenization = tokenizations.get(key)
                 if tokenization is None:
-                    tokenization = tokenizations[key] = ColumnTokenization.extract(
-                        table.column_ref(candidate.lhs),
-                        candidate.lhs_mode,
-                        self.config.ngram_size,
-                    )
+                    with self.timers.stage("tokenize"):
+                        tokenization = tokenizations[key] = ColumnTokenization.extract(
+                            table.column_ref(candidate.lhs),
+                            candidate.lhs_mode,
+                            self.config.ngram_size,
+                        )
             reports.append(
                 _mine_candidate_values(
                     candidate,
@@ -212,8 +223,90 @@ class PfdDiscoverer:
                     self.constant_miner,
                     self.variable_miner,
                     tokenization=tokenization,
+                    timers=self.timers,
                 )
             )
+        return reports
+
+    def _mine_serial_kernel(
+        self, table: Table, candidates: Sequence[CandidateDependency]
+    ) -> List[DependencyReport]:
+        """The columnar mining loop: encode each column once, tokenize
+        each (LHS, mode) pair once over *distinct* values, then run the
+        :mod:`repro.kernels` loop body per candidate.
+
+        Candidates whose miners were customized beyond what the kernels
+        reproduce fall back to the scalar loop body — reusing the
+        distinct-level tokenization — so results never depend on which
+        path ran.
+        """
+        encodings: Dict[str, ColumnEncoding] = {}
+        triples: Dict[Tuple[str, str], list] = {}
+        reports: List[DependencyReport] = []
+
+        def encoding_for(name: str) -> ColumnEncoding:
+            encoding = encodings.get(name)
+            if encoding is None:
+                encoding = encodings[name] = TABLE_ARTIFACTS.get(
+                    table,
+                    ("column_encoding", name),
+                    lambda: encode_column(table.column_ref(name)),
+                )
+            return encoding
+
+        for candidate in candidates:
+            with self.timers.stage("tokenize"):
+                lhs_encoding = encoding_for(candidate.lhs)
+                rhs_encoding = encoding_for(candidate.rhs)
+                candidate_triples = None
+                if self.config.discover_constant:
+                    key = (candidate.lhs, candidate.lhs_mode)
+                    candidate_triples = triples.get(key)
+                    if candidate_triples is None:
+                        candidate_triples = triples[key] = TABLE_ARTIFACTS.get(
+                            table,
+                            (
+                                "kernel_triples",
+                                candidate.lhs,
+                                candidate.lhs_mode,
+                                self.config.ngram_size,
+                            ),
+                            lambda: batch_tokenize(
+                                lhs_encoding,
+                                candidate.lhs_mode,
+                                self.config.ngram_size,
+                            ),
+                        )
+            report = _mine_candidate_encoded(
+                candidate,
+                lhs_encoding,
+                rhs_encoding,
+                candidate_triples,
+                self.config,
+                self.constant_miner,
+                self.variable_miner,
+                timers=self.timers,
+            )
+            if report is None:
+                tokenization = None
+                if self.config.discover_constant:
+                    tokenization = tokenization_from_encoding(
+                        lhs_encoding,
+                        candidate.lhs_mode,
+                        self.config.ngram_size,
+                        candidate_triples,
+                    )
+                report = _mine_candidate_values(
+                    candidate,
+                    table.column_ref(candidate.lhs),
+                    table.column_ref(candidate.rhs),
+                    self.config,
+                    self.constant_miner,
+                    self.variable_miner,
+                    tokenization=tokenization,
+                    timers=self.timers,
+                )
+            reports.append(report)
         return reports
 
     # -- PFD construction ----------------------------------------------------------
@@ -275,6 +368,7 @@ def _mine_candidate_values(
     constant_miner: ConstantPfdMiner,
     variable_miner: VariablePfdMiner,
     tokenization: Optional[ColumnTokenization] = None,
+    timers: Optional[StageTimers] = None,
 ) -> DependencyReport:
     """The Figure 2 loop body for one ``A → B`` over materialized columns.
 
@@ -285,15 +379,20 @@ def _mine_candidate_values(
     report = DependencyReport(candidate=candidate)
     if config.discover_constant:
         report.constant_candidates = constant_miner.mine(
-            lhs_values, rhs_values, candidate.lhs_mode, tokenization=tokenization
+            lhs_values,
+            rhs_values,
+            candidate.lhs_mode,
+            tokenization=tokenization,
+            timers=timers,
         )
         report.coverage = constant_miner.coverage(
             report.constant_candidates, lhs_values
         )
     if config.discover_variable:
-        report.variable_candidates = variable_miner.mine(
-            lhs_values, rhs_values, candidate.lhs_mode
-        )
+        with stage_or_null(timers, "mine_variable"):
+            report.variable_candidates = variable_miner.mine(
+                lhs_values, rhs_values, candidate.lhs_mode
+            )
     constant_ok = (
         bool(report.constant_candidates)
         and report.coverage >= config.min_coverage
@@ -301,6 +400,71 @@ def _mine_candidate_values(
     variable_ok = bool(report.variable_candidates)
     if not constant_ok:
         # below-threshold constant tableaux are dropped (Figure 2 line 13)
+        report.constant_candidates = []
+    report.accepted = constant_ok or variable_ok
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def _mine_candidate_encoded(
+    candidate: CandidateDependency,
+    lhs_encoding: ColumnEncoding,
+    rhs_encoding: ColumnEncoding,
+    triples_by_code,
+    config: DiscoveryConfig,
+    constant_miner: ConstantPfdMiner,
+    variable_miner: VariablePfdMiner,
+    timers: Optional[StageTimers] = None,
+) -> Optional[DependencyReport]:
+    """The Figure 2 loop body over *encoded* columns, or ``None`` when
+    the miners were customized beyond what the kernels reproduce (the
+    caller then runs :func:`_mine_candidate_values`)."""
+    # local import: repro.kernels.mine imports the miner modules, which
+    # this package's __init__ loads before the discoverer — importing it
+    # at module top would be circular when kernels are imported first
+    from repro.kernels.mine import (
+        coverage_kernel,
+        mine_constant_kernel,
+        mine_variable_kernel,
+    )
+
+    if config.discover_constant and type(constant_miner.decision) is not MajorityDecision:
+        return None
+    if config.discover_variable and type(variable_miner) is not VariablePfdMiner:
+        return None
+    started = time.perf_counter()
+    report = DependencyReport(candidate=candidate)
+    if config.discover_constant:
+        selected = mine_constant_kernel(
+            lhs_encoding,
+            rhs_encoding,
+            triples_by_code,
+            config,
+            constant_miner,
+            timers=timers,
+        )
+        if selected is None:
+            return None
+        report.constant_candidates = selected
+        report.coverage = coverage_kernel(selected, lhs_encoding)
+    if config.discover_variable:
+        variable = mine_variable_kernel(
+            lhs_encoding,
+            rhs_encoding,
+            candidate.lhs_mode,
+            config,
+            variable_miner,
+            timers=timers,
+        )
+        if variable is None:
+            return None
+        report.variable_candidates = variable
+    constant_ok = (
+        bool(report.constant_candidates)
+        and report.coverage >= config.min_coverage
+    )
+    variable_ok = bool(report.variable_candidates)
+    if not constant_ok:
         report.constant_candidates = []
     report.accepted = constant_ok or variable_ok
     report.elapsed_seconds = time.perf_counter() - started

@@ -169,7 +169,9 @@ class ShardedExecutor(Executor):
     def run_detection(self, plan, source, rules):
         sharded = source.sharded_view(plan.shard_rows)
         return ShardedDetector(
-            sharded, shard_map=make_shard_map(plan.n_workers)
+            sharded,
+            shard_map=make_shard_map(plan.n_workers),
+            use_kernels=plan.use_kernels,
         ).detect_all(rules)
 
 

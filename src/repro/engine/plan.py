@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.detection.detector import DetectionStrategy
 from repro.discovery.config import DiscoveryConfig
 from repro.errors import DetectionError
+from repro.kernels.runtime import HAVE_NUMPY, kernels_enabled
 
 
 class ExecutionBackend:
@@ -78,6 +79,9 @@ class ExecutionPlan:
     #: estimated shard count (``0`` for the monolithic backends)
     n_shards: int = 0
     n_rows: int = 0
+    #: resolved kernel choice: ``"on"`` when the vectorized columnar
+    #: kernels run the hot paths, ``"off"`` for the scalar paths
+    use_kernels: str = "off"
     #: the executor the caller asked for (``"auto"`` or a backend name)
     requested_executor: str = "auto"
     #: human-readable routing decisions, in the order they were taken
@@ -92,7 +96,8 @@ class ExecutionPlan:
             shape = f"strategy={self.strategy}"
         lines = [
             f"execution plan ({self.kind}): backend={self.backend} "
-            f"{shape} workers={self.n_workers} rows={self.n_rows}"
+            f"{shape} workers={self.n_workers} rows={self.n_rows} "
+            f"kernels={self.use_kernels}"
         ]
         lines.extend(f"  - {decision}" for decision in self.decisions)
         return "\n".join(lines)
@@ -213,6 +218,21 @@ def plan_run(
         )
         n_workers = 0
 
+    # -- kernel resolution ---------------------------------------------------
+    use_kernels = "on" if kernels_enabled(config.use_kernels) else "off"
+    if config.use_kernels == "auto":
+        decisions.append(
+            f"use_kernels=auto resolves to {use_kernels} "
+            f"(numpy {'available' if HAVE_NUMPY else 'unavailable'})"
+        )
+    elif config.use_kernels == "on" and not HAVE_NUMPY:
+        reason = (
+            "use_kernels='on' requested but numpy is unavailable; "
+            "running the equivalent scalar path"
+        )
+        decisions.append(reason)
+        warnings.warn(reason, PlanWarning, stacklevel=2)
+
     # -- effective shard size ------------------------------------------------
     shard_rows = 0
     n_shards = 0
@@ -242,6 +262,7 @@ def plan_run(
         shard_rows=shard_rows,
         n_shards=n_shards,
         n_rows=n_rows,
+        use_kernels=use_kernels,
         requested_executor=executor,
         decisions=decisions,
     )

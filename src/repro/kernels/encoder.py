@@ -1,0 +1,129 @@
+"""Columnar distinct-value encoding.
+
+One pass factorizes a column into contiguous ``int32`` codes assigned in
+first-appearance order — the same order every scalar dict in the
+pipeline uses for insertion, which is what lets the kernels reproduce
+scalar dict orders exactly.  Everything derived from the codes is lazy:
+
+* ``rows_by_code`` — one stable argsort + bincount split, giving each
+  distinct value its ascending row-id array;
+* ``lengths`` — ``len()`` per distinct value, vectorized consumers index
+  it by code;
+* ``signatures`` — a uint8 char-class bitmask per distinct value, the
+  sound prefilter of the batch matcher (a value whose signature sets a
+  bit outside a pattern's allowed mask cannot match it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernels.runtime import HAVE_NUMPY, np
+from repro.patterns.alphabet import CharClass, classify_char
+
+#: one bit per leaf class of the generalization tree (``\A`` = all bits)
+CLASS_BITS: Dict[CharClass, int] = {
+    CharClass.UPPER: 1,
+    CharClass.LOWER: 2,
+    CharClass.DIGIT: 4,
+    CharClass.SYMBOL: 8,
+}
+
+#: the mask with every class bit set (what ``\A`` allows)
+ALL_CLASS_BITS = 0xF
+
+
+def signature_bits(value: str) -> int:
+    """The char-class bitmask of one value (0 for the empty string)."""
+    bits = 0
+    for char in set(value):
+        bits |= CLASS_BITS[classify_char(char)]
+    return bits
+
+
+class ColumnEncoding:
+    """One column factorized into distinct values and int32 codes."""
+
+    __slots__ = ("distinct", "codes", "_rows_by_code", "_counts", "_lengths", "_signatures")
+
+    def __init__(self, distinct: List[str], codes) -> None:
+        #: distinct values in first-appearance order; ``distinct[codes[i]]``
+        #: is row ``i``'s value
+        self.distinct = distinct
+        #: int32 numpy array, one code per row
+        self.codes = codes
+        self._rows_by_code: Optional[list] = None
+        self._counts = None
+        self._lengths = None
+        self._signatures = None
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.codes)
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.distinct)
+
+    def counts(self):
+        """int64 array: number of rows per code."""
+        counts = self._counts
+        if counts is None:
+            counts = self._counts = np.bincount(
+                self.codes, minlength=len(self.distinct)
+            )
+        return counts
+
+    def rows_by_code(self) -> list:
+        """Per code, the ascending int64 array of rows holding it.
+
+        Built with one stable argsort over the whole column; stability
+        keeps each code's rows in original (ascending) row order.
+        """
+        rows = self._rows_by_code
+        if rows is None:
+            order = np.argsort(self.codes, kind="stable")
+            counts = self.counts()
+            rows = self._rows_by_code = np.split(
+                order, np.cumsum(counts[:-1])
+            ) if len(self.distinct) else []
+        return rows
+
+    def lengths(self):
+        """int32 array: ``len(distinct[code])`` per code."""
+        lengths = self._lengths
+        if lengths is None:
+            lengths = self._lengths = np.fromiter(
+                (len(value) for value in self.distinct),
+                dtype=np.int32,
+                count=len(self.distinct),
+            )
+        return lengths
+
+    def signatures(self):
+        """uint8 array: char-class bitmask per code (see CLASS_BITS)."""
+        signatures = self._signatures
+        if signatures is None:
+            signatures = self._signatures = np.fromiter(
+                (signature_bits(value) for value in self.distinct),
+                dtype=np.uint8,
+                count=len(self.distinct),
+            )
+        return signatures
+
+
+def encode_column(values: Sequence[str]) -> ColumnEncoding:
+    """Factorize one column (codes in first-appearance order)."""
+    if not HAVE_NUMPY:
+        raise RuntimeError("encode_column requires numpy; gate on kernels_enabled()")
+    index: Dict[str, int] = {}
+    distinct: List[str] = []
+    codes: List[int] = []
+    append = codes.append
+    setdefault = index.setdefault
+    for value in values:
+        code = setdefault(value, len(distinct))
+        if code == len(distinct):
+            distinct.append(value)
+        append(code)
+    return ColumnEncoding(distinct, np.asarray(codes, dtype=np.int32))

@@ -1,0 +1,74 @@
+"""Vectorized pair-group builder.
+
+Reproduces :func:`repro.sharding.stats.extract_pair_groups` — the nested
+``LHS value → RHS value → [global row ids]`` map — from one argsort over
+combined ``(lhs_code << 32) | rhs_code`` keys instead of a per-row
+dict-of-dict loop.
+
+Ordering is part of the contract (the scalar map's insertion orders flow
+into violation emission):
+
+* outer keys appear in first-occurrence order of the LHS value, which is
+  exactly ascending LHS *code* order (codes are assigned on first
+  appearance), so iterating the sorted groups directly is correct;
+* inner keys appear in first-occurrence order of the RHS value *within
+  that LHS group* — which is **not** global RHS code order — so each LHS
+  group's subgroups are reordered by their first (minimum) row id;
+* row lists ascend because the argsort is stable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.kernels.encoder import encode_column
+from repro.kernels.runtime import np
+from repro.sharding.stats import PairGroups
+
+
+def pair_groups_kernel(
+    lhs_values: Sequence[str],
+    rhs_values: Sequence[str],
+    offset: int,
+) -> PairGroups:
+    """One shard's pair groups, byte-identical to the scalar extractor."""
+    n = len(lhs_values)
+    groups: PairGroups = {}
+    if n == 0:
+        return groups
+    lhs = encode_column(lhs_values)
+    rhs = encode_column(rhs_values)
+    combined = (lhs.codes.astype(np.int64) << 32) | rhs.codes.astype(np.int64)
+    order = np.argsort(combined, kind="stable")
+    ordered = combined[order]
+    if offset:
+        order = order + offset
+    # group boundaries: positions where the combined key changes
+    boundaries = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
+    starts = [0, *boundaries.tolist(), n]
+    lhs_distinct = lhs.distinct
+    rhs_distinct = rhs.distinct
+    current_code = -1
+    subgroups = []  # (first_row, rhs_value, rows) of the current LHS code
+
+    def flush() -> None:
+        if not subgroups:
+            return
+        subgroups.sort(key=lambda item: item[0])
+        groups[lhs_distinct[current_code]] = {
+            rhs_value: rows for _first, rhs_value, rows in subgroups
+        }
+        subgroups.clear()
+
+    for i in range(len(starts) - 1):
+        start, stop = starts[i], starts[i + 1]
+        key = int(ordered[start])
+        lhs_code = key >> 32
+        rhs_code = key & 0xFFFFFFFF
+        rows = order[start:stop].tolist()
+        if lhs_code != current_code:
+            flush()
+            current_code = lhs_code
+        subgroups.append((rows[0], rhs_distinct[rhs_code], rows))
+    flush()
+    return groups

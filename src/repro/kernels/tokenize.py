@@ -1,0 +1,99 @@
+"""Batch tokenization over the distinct-value array.
+
+Produces exactly the (key, position, text) triples of
+:meth:`repro.discovery.inverted_index.ColumnTokenization.extract`, once
+per *distinct* value; rows inherit their triples by code lookup.  The
+token mode uses one compiled ``\\S+`` scan per value instead of the
+scalar per-character loop — Python's ``str.isspace()`` and the regex
+``\\s`` class agree on every code point, so the split is identical.
+N-gram and prefix modes are plain slicing, already the cheapest form.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.kernels.encoder import ColumnEncoding
+from repro.patterns.tokenizer import _PUNCTUATION_STRIP
+from repro.perf.interning import InternPool
+
+#: one row's triples: ((key, position, raw token text), …)
+Triples = Tuple[Tuple[str, int, str], ...]
+
+_WORDS = re.compile(r"\S+")
+
+
+def value_triples(
+    value: str, mode: str, ngram_size: int, pool: InternPool
+) -> Triples:
+    """One distinct value's (key, position, text) triples.
+
+    Byte-identical to the triples ``ColumnTokenization.extract`` caches
+    per distinct value (keys interned, empty keys impossible for
+    non-empty token text).
+    """
+    if value == "":
+        return ()
+    intern = pool.intern
+    if mode == "token":
+        triples = []
+        for position, match in enumerate(_WORDS.finditer(value)):
+            text = match.group()
+            key = text.strip(_PUNCTUATION_STRIP) or text
+            triples.append((intern(key), position, intern(text)))
+        return tuple(triples)
+    if mode == "ngram":
+        if len(value) < ngram_size:
+            return ()
+        triples = []
+        for start in range(len(value) - ngram_size + 1):
+            interned = intern(value[start : start + ngram_size])
+            triples.append((interned, start, interned))
+        return tuple(triples)
+    if mode == "prefix":
+        triples = []
+        for size in (1, 2, 3, 4, 5):
+            if size <= len(value):
+                interned = intern(value[:size])
+                triples.append((interned, 0, interned))
+        return tuple(triples)
+    raise ValueError(f"unknown token mode {mode!r}")
+
+
+def batch_tokenize(
+    encoding: ColumnEncoding,
+    mode: str,
+    ngram_size: int,
+    pool: Optional[InternPool] = None,
+) -> List[Triples]:
+    """Per-code triples for a whole encoded column, one pass over the
+    distinct values."""
+    pool = InternPool() if pool is None else pool
+    return [
+        value_triples(value, mode, ngram_size, pool)
+        for value in encoding.distinct
+    ]
+
+
+def tokenization_from_encoding(
+    encoding: ColumnEncoding,
+    mode: str,
+    ngram_size: int,
+    triples_by_code: Optional[List[Triples]] = None,
+):
+    """The row-level ``ColumnTokenization`` view of an encoded column
+    (rows inherit their code's triples by lookup).
+
+    Used when a candidate needs the scalar loop body (customized miners
+    the kernels do not reproduce) — the distinct-level work is reused,
+    only the per-row list is materialized.
+    """
+    # local import: repro.discovery pulls in the discoverer, which
+    # imports this module — a top-level import would be circular
+    from repro.discovery.inverted_index import ColumnTokenization
+
+    if triples_by_code is None:
+        triples_by_code = batch_tokenize(encoding, mode, ngram_size)
+    row_tokens = [triples_by_code[code] for code in encoding.codes.tolist()]
+    return ColumnTokenization(mode, ngram_size, row_tokens)

@@ -110,6 +110,25 @@ class MatchMemo:
 
         return project
 
+    def match_table(self, pattern) -> Optional[Dict[str, bool]]:
+        """The pattern's raw verdict table, or None when the memo is off.
+
+        The batch matcher (:mod:`repro.kernels.match`) reads and writes
+        this table directly so one kernel pass over a column's distinct
+        values shares its verdicts with every scalar ``matches`` call —
+        the same store, whichever path computed the verdict first.
+        Callers must only insert correct ``pattern.matches(value)``
+        verdicts.
+        """
+        if not self.enabled:
+            return None
+        return self._table_for(self._matches, pattern)
+
+    def count_batch(self, hits: int, misses: int) -> None:
+        """Fold one batch lookup into the hit/miss statistics."""
+        self.hits += hits
+        self.misses += misses
+
     # -- bookkeeping -----------------------------------------------------------
 
     def _table_for(self, store: Dict[Hashable, Dict], pattern) -> Dict:

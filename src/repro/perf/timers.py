@@ -9,8 +9,8 @@ report where time went.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Dict, Iterator
+from contextlib import contextmanager, nullcontext
+from typing import Dict, Iterator, Optional
 
 
 class StageTimers:
@@ -62,3 +62,10 @@ class StageTimers:
             )
         ]
         return "\n".join(lines)
+
+
+def stage_or_null(timers: Optional[StageTimers], name: str):
+    """``timers.stage(name)`` when timers are threaded through, a no-op
+    context otherwise — lets hot paths take an optional timers kwarg
+    without branching at every call site."""
+    return timers.stage(name) if timers is not None else nullcontext()

@@ -46,8 +46,10 @@ from repro.detection.rules import (
     make_rule_evaluator,
 )
 from repro.detection.violation import ViolationReport
+from repro.kernels.runtime import HAVE_NUMPY, kernels_enabled
 from repro.perf import TABLE_ARTIFACTS
 from repro.perf.memo import MatchMemo, MATCH_MEMO
+from repro.perf.timers import StageTimers
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import (
@@ -79,6 +81,7 @@ class ShardedDetector:
         sharded: ShardedTable,
         memo: Optional[MatchMemo] = None,
         shard_map: Optional[Callable] = None,
+        use_kernels: Optional[str] = None,
     ):
         self.sharded = sharded
         self.memo = MATCH_MEMO if memo is None else memo
@@ -86,6 +89,12 @@ class ShardedDetector:
         #: in-process; anything else is a map hook, e.g.
         #: :func:`repro.engine.pool.make_shard_map`'s pooled fan-out
         self._shard_map = shard_map
+        #: resolved once: whether the vectorized kernels build the
+        #: per-shard statistics and answer pattern lookups (``None``
+        #: defers to the process-wide default mode)
+        self.use_kernels = kernels_enabled(use_kernels)
+        #: wall-clock accumulated per detection stage across runs
+        self.timers = StageTimers()
 
     # -- public API -----------------------------------------------------------
 
@@ -125,28 +134,41 @@ class ShardedDetector:
         )
 
     def _merge_pair_groups(self, lhs: str, rhs: str) -> MergedPairGroups:
-        if self._shard_map is not None and self.sharded.n_shards > 1:
-            payloads = [
-                (shard.column_ref(lhs), shard.column_ref(rhs), offset)
-                for offset, shard in self.sharded.iter_shards()
-            ]
-            shard_groups = self._shard_map(_extract_shard, payloads)
-        else:
-            shard_groups = [
-                self._shard_pair_groups(shard, offset, lhs, rhs)
-                for offset, shard in self.sharded.iter_shards()
-            ]
-        return merge_pair_groups(shard_groups)
+        with self.timers.stage("pair_groups"):
+            if self._shard_map is not None and self.sharded.n_shards > 1:
+                payloads = [
+                    (
+                        shard.column_ref(lhs),
+                        shard.column_ref(rhs),
+                        offset,
+                        self.use_kernels,
+                    )
+                    for offset, shard in self.sharded.iter_shards()
+                ]
+                shard_groups = self._shard_map(_extract_shard, payloads)
+            else:
+                shard_groups = [
+                    self._shard_pair_groups(shard, offset, lhs, rhs)
+                    for offset, shard in self.sharded.iter_shards()
+                ]
+            return merge_pair_groups(shard_groups)
 
     def _shard_pair_groups(
         self, shard, offset: int, lhs: str, rhs: str
     ) -> PairGroups:
-        """One shard's statistic, cached per (shard version, pair, offset)."""
+        """One shard's statistic, cached per (shard version, pair, offset).
+
+        The kernel and scalar builders share the cache key because they
+        produce identical maps (same keys, same orders, same row lists).
+        """
         return TABLE_ARTIFACTS.get(
             shard,
             ("shard_pair_groups", lhs, rhs, offset),
-            lambda: extract_pair_groups(
-                shard.column_ref(lhs), shard.column_ref(rhs), offset
+            lambda: _build_pair_groups(
+                shard.column_ref(lhs),
+                shard.column_ref(rhs),
+                offset,
+                self.use_kernels,
             ),
         )
 
@@ -156,7 +178,11 @@ class ShardedDetector:
         self, report: ViolationReport, evaluator: ConstantRuleEvaluator
     ) -> None:
         merged = self.pair_groups(evaluator.lhs, evaluator.rhs)
-        matching = merged.matching_values(evaluator.lhs_cell, self.memo)
+        matching = merged.matching_values(
+            evaluator.lhs_cell,
+            self.memo,
+            use_kernels="on" if self.use_kernels else "off",
+        )
         report.comparisons += merged.last_candidates_tested
         report.extend(
             evaluator.emit_value_groups(
@@ -218,8 +244,20 @@ class ShardedDetector:
         return blocks
 
 
+def _build_pair_groups(
+    lhs_values, rhs_values, offset: int, use_kernels: bool
+) -> PairGroups:
+    """One shard's pair groups via the requested builder (the kernel
+    builder is byte-identical to the scalar extractor)."""
+    if use_kernels and HAVE_NUMPY:
+        from repro.kernels.groupby import pair_groups_kernel
+
+        return pair_groups_kernel(lhs_values, rhs_values, offset)
+    return extract_pair_groups(lhs_values, rhs_values, offset)
+
+
 def _extract_shard(payload) -> PairGroups:
     """Worker entry point for the shard fan-out (module-level so it is
     picklable by ``ProcessPoolExecutor``)."""
-    lhs_values, rhs_values, offset = payload
-    return extract_pair_groups(lhs_values, rhs_values, offset)
+    lhs_values, rhs_values, offset, use_kernels = payload
+    return _build_pair_groups(lhs_values, rhs_values, offset, use_kernels)

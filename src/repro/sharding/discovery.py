@@ -25,9 +25,13 @@ from repro.discovery.decision import DecisionFunction
 from repro.discovery.discoverer import (
     DiscoveryResult,
     PfdDiscoverer,
+    _mine_candidate_encoded,
     _mine_candidate_values,
 )
 from repro.discovery.inverted_index import ColumnTokenization
+from repro.kernels.encoder import ColumnEncoding, encode_column
+from repro.kernels.runtime import kernels_enabled
+from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import merge_tokenizations
@@ -103,6 +107,9 @@ class ShardedDiscoverer:
         tokenization assembled from per-shard extractions instead of one
         monolithic pass.
         """
+        if kernels_enabled(self.config.use_kernels):
+            return self._mine_merged_kernel(sharded, candidates)
+        timers = self.discoverer.timers
         tokenizations: Dict[Tuple[str, str], ColumnTokenization] = {}
         reports = []
         for candidate in candidates:
@@ -111,9 +118,10 @@ class ShardedDiscoverer:
                 key = (candidate.lhs, candidate.lhs_mode)
                 tokenization = tokenizations.get(key)
                 if tokenization is None:
-                    tokenization = tokenizations[key] = self._merged_tokenization(
-                        sharded, candidate.lhs, candidate.lhs_mode
-                    )
+                    with timers.stage("tokenize"):
+                        tokenization = tokenizations[key] = self._merged_tokenization(
+                            sharded, candidate.lhs, candidate.lhs_mode
+                        )
             reports.append(
                 _mine_candidate_values(
                     candidate,
@@ -123,8 +131,87 @@ class ShardedDiscoverer:
                     self.discoverer.constant_miner,
                     self.discoverer.variable_miner,
                     tokenization=tokenization,
+                    timers=timers,
                 )
             )
+        return reports
+
+    def _mine_merged_kernel(
+        self, sharded: ShardedTable, candidates: Sequence[CandidateDependency]
+    ) -> List:
+        """The columnar mining loop over merged columns.
+
+        Encodings and distinct-level triples are merged-table artifacts
+        (cached until a shard mutates); the loop body and the
+        scalar-fallback rule are shared with the monolithic kernel path,
+        so sharded and monolithic runs stay byte-identical.
+        """
+        timers = self.discoverer.timers
+        encodings: Dict[str, ColumnEncoding] = {}
+        triples: Dict[Tuple[str, str], list] = {}
+        reports = []
+
+        def encoding_for(name: str) -> ColumnEncoding:
+            encoding = encodings.get(name)
+            if encoding is None:
+                encoding = encodings[name] = sharded.merged_artifact(
+                    ("column_encoding", name),
+                    lambda: encode_column(sharded.column_concat(name)),
+                )
+            return encoding
+
+        for candidate in candidates:
+            with timers.stage("tokenize"):
+                lhs_encoding = encoding_for(candidate.lhs)
+                rhs_encoding = encoding_for(candidate.rhs)
+                candidate_triples = None
+                if self.config.discover_constant:
+                    key = (candidate.lhs, candidate.lhs_mode)
+                    candidate_triples = triples.get(key)
+                    if candidate_triples is None:
+                        candidate_triples = triples[key] = sharded.merged_artifact(
+                            (
+                                "kernel_triples",
+                                candidate.lhs,
+                                candidate.lhs_mode,
+                                self.config.ngram_size,
+                            ),
+                            lambda: batch_tokenize(
+                                lhs_encoding,
+                                candidate.lhs_mode,
+                                self.config.ngram_size,
+                            ),
+                        )
+            report = _mine_candidate_encoded(
+                candidate,
+                lhs_encoding,
+                rhs_encoding,
+                candidate_triples,
+                self.config,
+                self.discoverer.constant_miner,
+                self.discoverer.variable_miner,
+                timers=timers,
+            )
+            if report is None:
+                tokenization = None
+                if self.config.discover_constant:
+                    tokenization = tokenization_from_encoding(
+                        lhs_encoding,
+                        candidate.lhs_mode,
+                        self.config.ngram_size,
+                        candidate_triples,
+                    )
+                report = _mine_candidate_values(
+                    candidate,
+                    sharded.column_concat(candidate.lhs),
+                    sharded.column_concat(candidate.rhs),
+                    self.config,
+                    self.discoverer.constant_miner,
+                    self.discoverer.variable_miner,
+                    tokenization=tokenization,
+                    timers=timers,
+                )
+            reports.append(report)
         return reports
 
     def _merged_tokenization(

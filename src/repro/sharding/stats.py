@@ -26,11 +26,13 @@ they cross process boundaries cheaply when the shard fan-out runs on
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
 from repro.detection.index import narrow_candidates_by_prefix
 from repro.discovery.inverted_index import ColumnTokenization
+from repro.kernels.match import batch_matching_values
+from repro.kernels.runtime import kernels_enabled
 from repro.patterns.pattern import Pattern
 from repro.perf.memo import MatchMemo
 from repro.pfd.tableau import Wildcard
@@ -97,14 +99,25 @@ class MergedPairGroups:
     def n_distinct(self) -> int:
         return len(self.sorted_values)
 
-    def matching_values(self, lhs_cell, memo: MatchMemo) -> List[str]:
+    def matching_values(
+        self,
+        lhs_cell,
+        memo: MatchMemo,
+        use_kernels: Optional[str] = None,
+    ) -> List[str]:
         """Distinct LHS values satisfying a rule's LHS cell.
 
         Patterns are narrowed by literal prefix and memo-tested once per
         distinct value (the same verdict store the monolithic index
         uses); a plain-string cell is a dictionary hit; a wildcard cell
-        matches everything (as ``cell_matches`` defines).
+        matches everything (as ``cell_matches`` defines).  When the
+        vectorized kernels are enabled, plain patterns run through the
+        batch matcher (identical verdicts, same memo tables).
         """
+        if isinstance(lhs_cell, Pattern) and kernels_enabled(use_kernels):
+            candidates = narrow_candidates_by_prefix(self.sorted_values, lhs_cell)
+            self.last_candidates_tested = len(candidates)
+            return batch_matching_values(lhs_cell, candidates, memo=memo)
         if isinstance(lhs_cell, (Pattern, ConstrainedPattern)):
             candidates = narrow_candidates_by_prefix(self.sorted_values, lhs_cell)
             self.last_candidates_tested = len(candidates)

@@ -36,7 +36,10 @@ class TestAutoRouting:
         assert plan.backend == ExecutionBackend.SERIAL
         assert plan.shard_rows == 0
         assert plan.n_shards == 0
-        assert plan.decisions == []
+        # the only default decision is the kernel-mode resolution
+        routing = [d for d in plan.decisions if not d.startswith("use_kernels")]
+        assert routing == []
+        assert plan.use_kernels in ("on", "off")
 
     @pytest.mark.parametrize("kind", ["discovery", "detection"])
     def test_n_workers_routes_parallel(self, kind):

@@ -1,0 +1,97 @@
+"""Differential tests: the kernel path vs. the scalar path, end to end.
+
+The sharding differential suite (``tests/sharding/test_differential.py``)
+is the oracle for monolithic-vs-sharded identity; this suite sweeps the
+*kernel* axis through the same machinery: for each randomized dirty
+table, monolithic and sharded discovery and detection must produce the
+identical rule set and canonically equal violations with kernels forced
+off, forced on, and left on ``auto`` — configs stay at ``"auto"`` so
+:func:`forced_kernel_mode` drives the whole stack through one mode at a
+time, exactly as a numpy-less or numpy-full process would run it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import build_dataset
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector
+from repro.detection import DetectionStrategy, ErrorDetector
+from repro.discovery import DiscoveryConfig, PfdDiscoverer
+from repro.kernels.runtime import forced_kernel_mode
+from repro.perf import clear_caches
+from repro.sharding import ShardedDetector, ShardedDiscoverer, ShardedTable
+
+GENERATORS = [
+    ("zip_city_state", 90, [CorruptionSpec("city", 0.05, kind="swap")]),
+    ("phone_state", 80, [CorruptionSpec("state", 0.06, kind="case")]),
+    ("fullname_gender", 80, [CorruptionSpec("gender", 0.08, kind="swap")]),
+    ("employee_ids", 70, [CorruptionSpec("employee_id", 0.05, kind="typo")]),
+]
+
+SEEDS = [3, 58]
+
+MODES = ("off", "on", "auto")
+
+CONFIG = DiscoveryConfig(min_coverage=0.4, allowed_violation_ratio=0.2)
+
+
+def dirty_table(name: str, n_rows: int, specs, seed: int):
+    dataset = build_dataset(name, n_rows=n_rows, seed=seed)
+    dirty, _cells = ErrorInjector(seed=seed + 1).corrupt(dataset.table, specs)
+    return dirty
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,n_rows,specs", GENERATORS, ids=lambda v: str(v))
+class TestKernelDifferential:
+    def test_discovery_identical_across_modes(self, name, n_rows, specs, seed):
+        table = dirty_table(name, n_rows, specs, seed)
+        results = {}
+        for mode in MODES:
+            with forced_kernel_mode(mode):
+                clear_caches()
+                mono = PfdDiscoverer(CONFIG).discover_with_report(table)
+                sharded = ShardedDiscoverer(CONFIG).discover_with_report(
+                    ShardedTable.from_table(table, 7)
+                )
+            assert [p.describe() for p in mono.pfds] == [
+                p.describe() for p in sharded.pfds
+            ], f"mono/sharded rule sets diverged with kernels {mode}"
+            results[mode] = (
+                [p.describe() for p in mono.pfds],
+                [(r.lhs, r.rhs, r.accepted, r.coverage) for r in mono.reports],
+            )
+        assert results["on"] == results["off"], "kernel rule set diverged"
+        assert results["auto"] == results["off"]
+
+    def test_detection_canonically_equal_across_modes(self, name, n_rows, specs, seed):
+        table = dirty_table(name, n_rows, specs, seed)
+        pfds = PfdDiscoverer(CONFIG).discover(table)
+        if not pfds:
+            pytest.skip("generator/seed pair discovered no rules")
+        violations = {}
+        for mode in MODES:
+            with forced_kernel_mode(mode):
+                clear_caches()
+                detector = ErrorDetector(table)
+                per_strategy = {
+                    strategy: detector.detect_all(
+                        pfds, strategy=strategy
+                    ).canonical_violations()
+                    for strategy in (DetectionStrategy.SCAN, DetectionStrategy.INDEX)
+                }
+                sharded = (
+                    ShardedDetector(ShardedTable.from_table(table, 7))
+                    .detect_all(pfds)
+                    .canonical_violations()
+                )
+            assert per_strategy[DetectionStrategy.INDEX] == per_strategy[
+                DetectionStrategy.SCAN
+            ], f"index/scan diverged with kernels {mode}"
+            assert sharded == per_strategy[DetectionStrategy.SCAN], (
+                f"sharded detection diverged with kernels {mode}"
+            )
+            violations[mode] = sharded
+        assert violations["on"] == violations["off"], "kernel violations diverged"
+        assert violations["auto"] == violations["off"]

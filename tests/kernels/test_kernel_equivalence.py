@@ -1,0 +1,172 @@
+"""Kernel/scalar equivalence on randomized columns.
+
+The kernels' contract is *byte identity*, not approximation: the same
+tokenization triples, the same match verdicts, the same pair-group maps
+(including every key order), and — end to end — the same discovered
+rule sets and per-candidate reports whether the kernels are on, off, or
+resolved by ``auto``.  Columns mix unicode, empty strings, quotes,
+embedded newlines, and code-like values so every token mode and every
+prefilter branch is exercised.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen import build_dataset
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector
+from repro.dataset import Table
+from repro.discovery import DiscoveryConfig, PfdDiscoverer
+from repro.discovery.inverted_index import ColumnTokenization
+from repro.kernels.encoder import encode_column
+from repro.kernels.groupby import pair_groups_kernel
+from repro.kernels.match import batch_verdicts
+from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
+from repro.patterns import parse_pattern
+from repro.perf import clear_caches
+from repro.sharding.stats import extract_pair_groups
+
+pytest.importorskip("numpy")
+
+#: pieces the randomized columns are assembled from — deliberately ugly
+PIECES = [
+    "",
+    "New York",
+    "90210",
+    "902",
+    "  spaced  ",
+    "O'Hare",
+    '"quoted"',
+    "line\nbreak",
+    "tab\there",
+    "Éclair",
+    "雪城",
+    "A-1",
+    "....",
+    "UPPER lower 123",
+]
+
+
+def random_column(rng: random.Random, n: int) -> list:
+    column = []
+    for _ in range(n):
+        if rng.random() < 0.55:
+            column.append(rng.choice(PIECES))
+        else:
+            length = rng.randint(1, 9)
+            column.append(
+                "".join(rng.choice("AaBb019 ?.'\n-É雪") for _ in range(length))
+            )
+    return column
+
+
+@pytest.mark.parametrize("seed", [1, 2, 17, 99])
+class TestColumnEquivalence:
+    def test_tokenization_identical(self, seed):
+        rng = random.Random(seed)
+        column = random_column(rng, 120)
+        encoding = encode_column(column)
+        for mode in ("token", "ngram", "prefix"):
+            triples = batch_tokenize(encoding, mode, 3)
+            kernel = tokenization_from_encoding(encoding, mode, 3, triples)
+            scalar = ColumnTokenization.extract(column, mode, 3)
+            assert kernel.row_tokens == scalar.row_tokens, (seed, mode)
+
+    def test_match_verdicts_identical(self, seed):
+        rng = random.Random(seed)
+        column = random_column(rng, 200)
+        patterns = ["\\D{5}", "90\\D{3}", "\\LU\\LL+", "\\A+", "\\S{2}", "New York"]
+        for text in patterns:
+            pattern = parse_pattern(text)
+            expected = [pattern.matches(v) for v in column]
+            assert batch_verdicts(pattern, column) == expected, (seed, text)
+
+    def test_pair_groups_identical_including_orders(self, seed):
+        rng = random.Random(seed)
+        lhs = random_column(rng, 150)
+        rhs = random_column(rng, 150)
+        for offset in (0, 1000):
+            kernel = pair_groups_kernel(lhs, rhs, offset)
+            scalar = extract_pair_groups(lhs, rhs, offset)
+            assert kernel == scalar
+            assert list(kernel) == list(scalar), "outer key order diverged"
+            for value in scalar:
+                assert list(kernel[value]) == list(scalar[value]), (
+                    f"inner key order diverged for {value!r}"
+                )
+
+
+def _report_fingerprint(result):
+    return [
+        (
+            r.lhs,
+            r.rhs,
+            r.accepted,
+            r.coverage,
+            [
+                (
+                    c.pattern_text,
+                    c.rhs_constant,
+                    c.support,
+                    c.agreement,
+                    c.covered_tuple_ids,
+                    c.violating_tuple_ids,
+                )
+                for c in r.constant_candidates
+            ],
+            [str(v.constrained_pattern) for v in r.variable_candidates],
+        )
+        for r in result.reports
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,n_rows,specs",
+    [
+        ("zip_city_state", 90, [CorruptionSpec("city", 0.05, kind="swap")]),
+        ("phone_state", 80, [CorruptionSpec("state", 0.06, kind="case")]),
+        ("employee_ids", 70, [CorruptionSpec("employee_id", 0.05, kind="typo")]),
+    ],
+    ids=lambda v: str(v),
+)
+@pytest.mark.parametrize("seed", [3, 58])
+class TestDiscoveryEquivalence:
+    def test_kernels_on_off_auto_identical(self, name, n_rows, specs, seed):
+        dataset = build_dataset(name, n_rows=n_rows, seed=seed)
+        dirty, _cells = ErrorInjector(seed=seed + 1).corrupt(dataset.table, specs)
+        config = DiscoveryConfig(min_coverage=0.4, allowed_violation_ratio=0.2)
+        results = {}
+        for mode in ("off", "on", "auto"):
+            clear_caches()
+            result = PfdDiscoverer(
+                config.with_overrides(use_kernels=mode)
+            ).discover_with_report(dirty)
+            results[mode] = (
+                [p.describe() for p in result.pfds],
+                _report_fingerprint(result),
+            )
+        assert results["on"] == results["off"]
+        assert results["auto"] == results["off"]
+
+
+class TestUglyTableDiscovery:
+    def test_randomized_table_identical_rules(self):
+        rng = random.Random(5)
+        n = 80
+        table = Table(
+            ["a", "b", "c"],
+            [random_column(rng, n), random_column(rng, n), random_column(rng, n)],
+        )
+        config = DiscoveryConfig(min_coverage=0.2, allowed_violation_ratio=0.3)
+        clear_caches()
+        off = PfdDiscoverer(
+            config.with_overrides(use_kernels="off")
+        ).discover_with_report(table)
+        clear_caches()
+        on = PfdDiscoverer(
+            config.with_overrides(use_kernels="on")
+        ).discover_with_report(table)
+        assert [p.describe() for p in on.pfds] == [p.describe() for p in off.pfds]
+        assert _report_fingerprint(on) == _report_fingerprint(off)

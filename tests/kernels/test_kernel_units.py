@@ -1,0 +1,188 @@
+"""Unit tests of the columnar kernel primitives.
+
+Each kernel's ordering/tie-break contract is pinned here directly —
+encoder code assignment, batch-matcher soundness against the NFA,
+pair-group key orders (including the inner-order counterexample that
+distinguishes first-occurrence-within-group from global code order),
+and triple-exact batch tokenization.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.discovery.inverted_index import ColumnTokenization
+from repro.kernels.encoder import (
+    ALL_CLASS_BITS,
+    CLASS_BITS,
+    ColumnEncoding,
+    encode_column,
+    signature_bits,
+)
+from repro.kernels.groupby import pair_groups_kernel
+from repro.kernels.match import batch_matching_values, batch_verdicts, pattern_class_mask
+from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
+from repro.patterns import parse_pattern
+from repro.patterns.alphabet import CharClass
+from repro.perf.memo import MatchMemo
+from repro.sharding.stats import extract_pair_groups
+
+np = pytest.importorskip("numpy")
+
+
+class TestEncoder:
+    def test_codes_are_first_appearance_order(self):
+        encoding = encode_column(["b", "a", "b", "c", "a"])
+        assert encoding.distinct == ["b", "a", "c"]
+        assert encoding.codes.tolist() == [0, 1, 0, 2, 1]
+        assert encoding.codes.dtype == np.int32
+
+    def test_rows_by_code_partition(self):
+        values = ["x", "y", "x", "z", "y", "x"]
+        encoding = encode_column(values)
+        rows = encoding.rows_by_code()
+        assert [r.tolist() for r in rows] == [[0, 2, 5], [1, 4], [3]]
+        assert encoding.counts().tolist() == [3, 2, 1]
+
+    def test_empty_column(self):
+        encoding = encode_column([])
+        assert encoding.n_rows == 0
+        assert encoding.n_distinct == 0
+        assert encoding.rows_by_code() == []
+
+    def test_lengths_and_signatures(self):
+        encoding = encode_column(["Ab1", "", "??"])
+        assert encoding.lengths().tolist() == [3, 0, 2]
+        upper, lower, digit, symbol = (
+            CLASS_BITS[CharClass.UPPER],
+            CLASS_BITS[CharClass.LOWER],
+            CLASS_BITS[CharClass.DIGIT],
+            CLASS_BITS[CharClass.SYMBOL],
+        )
+        assert encoding.signatures().tolist() == [upper | lower | digit, 0, symbol]
+
+    def test_signature_bits_unicode(self):
+        # the paper's alphabet is ASCII: anything else is a Symbol
+        assert signature_bits("É") == CLASS_BITS[CharClass.SYMBOL]
+        assert signature_bits("雪") == CLASS_BITS[CharClass.SYMBOL]
+        assert signature_bits("A1") == (
+            CLASS_BITS[CharClass.UPPER] | CLASS_BITS[CharClass.DIGIT]
+        )
+
+
+class TestBatchMatcher:
+    PATTERNS = ["\\D{2}", "90\\D{3}", "\\LU{2}", "\\A{3}", "xy", "\\D+\\S", "\\LL{3}"]
+
+    def _values(self):
+        rng = random.Random(7)
+        alphabet = "AaBb01 ?-É雪"
+        values = [""]
+        for _ in range(300):
+            n = rng.randint(1, 8)
+            values.append("".join(rng.choice(alphabet) for _ in range(n)))
+        values += ["90210", "xy", "AA", "Aaa", "90", "012x"]
+        return values
+
+    @pytest.mark.parametrize("text", PATTERNS)
+    def test_verdicts_equal_nfa(self, text):
+        pattern = parse_pattern(text)
+        values = self._values()
+        expected = [pattern.matches(v) for v in values]
+        assert batch_verdicts(pattern, values) == expected
+        # small batches take the scalar loop, large ones the numpy path;
+        # both must agree with the NFA
+        assert batch_verdicts(pattern, values[:5]) == expected[:5]
+
+    def test_memo_tables_shared_with_scalar_path(self):
+        pattern = parse_pattern("\\D{5}")
+        memo = MatchMemo()
+        values = ["90210", "abcde", "12345"]
+        verdicts = batch_verdicts(pattern, values, memo=memo)
+        assert verdicts == [True, False, True]
+        # the scalar matcher reads the same table: no new misses
+        matches = memo.matcher(pattern)
+        before_misses = memo.misses
+        assert [matches(v) for v in values] == verdicts
+        assert memo.misses == before_misses
+
+    def test_prefiltered_rejections_are_cached(self):
+        pattern = parse_pattern("ab\\D{3}")
+        memo = MatchMemo()
+        values = [f"zz{i:04d}" for i in range(100)]  # all fail the prefix
+        assert batch_verdicts(pattern, values, memo=memo) == [False] * 100
+        again = batch_verdicts(pattern, values, memo=memo)
+        assert again == [False] * 100
+        assert memo.hits >= 100
+
+    def test_class_mask_any_disables_filter(self):
+        assert pattern_class_mask(parse_pattern("\\A{3}")) == ALL_CLASS_BITS
+        digit_mask = pattern_class_mask(parse_pattern("\\D{5}"))
+        assert digit_mask == CLASS_BITS[CharClass.DIGIT]
+
+    def test_matching_values_preserves_order(self):
+        pattern = parse_pattern("\\D{2}")
+        values = ["99", "x", "10", "123", "07"]
+        assert batch_matching_values(pattern, values) == ["99", "10", "07"]
+
+
+class TestPairGroupsKernel:
+    def test_matches_scalar_extractor_exactly(self):
+        lhs = ["b", "a", "a", "b", "c", "a"]
+        rhs = ["x", "y", "x", "x", "z", "y"]
+        kernel = pair_groups_kernel(lhs, rhs, 0)
+        scalar = extract_pair_groups(lhs, rhs, 0)
+        assert kernel == scalar
+        assert list(kernel) == list(scalar)
+        for value in scalar:
+            assert list(kernel[value]) == list(scalar[value])
+
+    def test_inner_order_is_first_occurrence_within_group(self):
+        # rhs "y" gets a smaller global code than "x" within lhs "a",
+        # but "a"'s first row pairs with "y" — the counterexample that
+        # breaks a global-code-order implementation
+        lhs = ["b", "a", "a"]
+        rhs = ["x", "y", "x"]
+        kernel = pair_groups_kernel(lhs, rhs, 0)
+        assert list(kernel["a"]) == ["y", "x"]
+        assert kernel == extract_pair_groups(lhs, rhs, 0)
+
+    def test_offset_globalizes_rows(self):
+        lhs = ["a", "a", "b"]
+        rhs = ["x", "x", "y"]
+        kernel = pair_groups_kernel(lhs, rhs, 100)
+        assert kernel == {"a": {"x": [100, 101]}, "b": {"y": [102]}}
+        assert all(
+            isinstance(row, int)
+            for by_rhs in kernel.values()
+            for rows in by_rhs.values()
+            for row in rows
+        )
+
+    def test_empty_and_single_row(self):
+        assert pair_groups_kernel([], [], 0) == {}
+        assert pair_groups_kernel(["a"], ["x"], 5) == {"a": {"x": [5]}}
+
+
+class TestBatchTokenize:
+    COLUMNS = [
+        ["New York", "  padded  ", "one", "", "quote's", '"quoted"'],
+        ["90210", "902", "", "1", "abcdef"],
+        ["a\nb", "tab\tsep", "雪 city", "mixed, punct."],
+    ]
+
+    @pytest.mark.parametrize("mode", ["token", "ngram", "prefix"])
+    @pytest.mark.parametrize("column", COLUMNS, ids=["words", "codes", "weird"])
+    def test_triples_equal_scalar_extraction(self, mode, column):
+        encoding = encode_column(column)
+        triples = batch_tokenize(encoding, mode, 3)
+        scalar = ColumnTokenization.extract(column, mode, 3)
+        rebuilt = tokenization_from_encoding(encoding, mode, 3, triples)
+        assert rebuilt.row_tokens == scalar.row_tokens
+        assert rebuilt.mode == scalar.mode
+
+    def test_unknown_mode_raises(self):
+        encoding = encode_column(["x"])
+        with pytest.raises(ValueError):
+            batch_tokenize(encoding, "chunk", 3)

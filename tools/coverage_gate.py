@@ -1,9 +1,10 @@
-"""Line-coverage gate for the detection, sharding, and execution engines.
+"""Line-coverage gate for the detection, sharding, engine and kernel layers.
 
-Runs the detection + sharding + engine test selection under a coverage
-tracer and fails when the measured line coverage of
-``src/repro/detection/``, ``src/repro/sharding/``, or
-``src/repro/engine/`` drops below the committed floor.  Built on the
+Runs the detection + sharding + engine + kernels test selection under a
+coverage tracer and fails when the measured line coverage of
+``src/repro/detection/``, ``src/repro/sharding/``,
+``src/repro/engine/``, or ``src/repro/kernels/`` drops below the
+committed floor.  Built on the
 standard library's ``trace`` module so it needs no dependency (this
 environment ships without the third-party ``coverage`` package; the
 measurement contract is the same if a future environment swaps it in).
@@ -36,6 +37,7 @@ FLOORS: Dict[str, float] = {
     "src/repro/detection": 0.85,
     "src/repro/sharding": 0.85,
     "src/repro/engine": 0.85,
+    "src/repro/kernels": 0.85,
 }
 
 #: the test selection exercising those directories
@@ -46,6 +48,7 @@ TEST_ARGS = [
     "tests/detection",
     "tests/sharding",
     "tests/engine",
+    "tests/kernels",
 ]
 
 
