@@ -223,6 +223,61 @@ def _bench_engine_parity(n_rows: int = 64000, shard_rows: int = 8000):
     return run, 5, baseline_run
 
 
+def _memory_out_of_core(
+    n_rows: int = 256_000, shard_rows: int = 16_000
+) -> Dict[str, float]:
+    """Peak tracemalloc of the never-materialized spill-store session.
+
+    A paired *memory* bench: the baseline reading is what merely loading
+    the same CSV into a monolithic ``Table`` costs, the measurement is
+    the full profile → discover → detect session over a spill store with
+    two resident shards.  Recorded under ``payload["memory"]`` as peaks
+    and a ratio — not under ``speedup``, because the comparison is bytes,
+    not seconds.
+    """
+    import gc
+    import tempfile
+    import tracemalloc
+
+    from repro.anmat.session import AnmatSession
+    from repro.dataset.csvio import read_csv, read_csv_sharded, write_csv
+    from repro.sharding import SpillToDiskShardStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "zip_city_state.csv"
+        write_csv(generate_zip_city_state(n_rows=n_rows, seed=23).table, csv_path)
+        gc.collect()
+
+        _clear_shared_caches()
+        tracemalloc.start()
+        table = read_csv(csv_path)
+        baseline_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        del table
+        _clear_shared_caches()
+        gc.collect()
+
+        tracemalloc.start()
+        store = SpillToDiskShardStore(cache_shards=2)
+        sharded = read_csv_sharded(csv_path, shard_rows, store=store)
+        session = AnmatSession(dataset_name="bench-out-of-core")
+        session.load_table(sharded)
+        session.set_parameters(min_coverage=0.5)
+        session.run_profiling()
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        session.close()
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+    return {
+        "peak_mb": round(peak / 1e6, 2),
+        "baseline_peak_mb": round(baseline_peak / 1e6, 2),
+        "ratio": round(peak / baseline_peak, 4),
+    }
+
+
 #: bench name → zero-argument setup returning (workload, default rounds)
 #: or (workload, default rounds, baseline workload) — the third element
 #: is measured and recorded under ``baseline`` whenever the bench has no
@@ -261,6 +316,18 @@ SPEEDUP_FLOORS = {
     "sharded_discovery_64000": 2.0,
 }
 
+#: memory bench name → one-shot workload returning its peak readings
+MEMORY_BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
+    "out_of_core_256000": _memory_out_of_core,
+}
+
+#: --check ceilings on recorded memory ratios: the out-of-core session's
+#: peak must stay below 40% of the materialized-table footprint (the
+#: acceptance bar of the never-materialized session work)
+MEMORY_RATIO_CEILINGS = {
+    "out_of_core_256000": 0.40,
+}
+
 
 def measure(run: Callable[[], object], rounds: int, cold: bool) -> float:
     """Best-of-``rounds`` wall-clock seconds for one workload."""
@@ -297,12 +364,28 @@ def check_recorded_speedups(output: Path) -> int:
         print(f"{name:32s} {speedup:8.3f}x  (floor {floor:.1f}x)  {verdict}")
         if speedup < floor:
             regressed.append(name)
+    memory: Dict[str, Dict[str, float]] = payload.get("memory", {})
+    for name, ceiling in sorted(MEMORY_RATIO_CEILINGS.items()):
+        entry = memory.get(name)
+        if entry is None:
+            print(f"--check FAILED: memory bench {name!r} not recorded")
+            return 1
+        ratio = entry.get("ratio")
+        verdict = "ok" if ratio is not None and ratio < ceiling else "REGRESSED"
+        print(
+            f"{name:32s} {ratio:8.3f}   (memory ratio, ceiling {ceiling:.2f})  {verdict}"
+        )
+        if verdict != "ok":
+            regressed.append(name)
     if regressed:
         print(
-            f"\n--check FAILED: {len(regressed)} bench(es) below their floor: {regressed}"
+            f"\n--check FAILED: {len(regressed)} bench(es) out of bounds: {regressed}"
         )
         return 1
-    print(f"\n--check ok: all {len(speedups)} recorded speedups at or above their floors")
+    print(
+        f"\n--check ok: all {len(speedups)} recorded speedups at or above their "
+        f"floors, {len(MEMORY_RATIO_CEILINGS)} memory ratio(s) under their ceilings"
+    )
     return 0
 
 
@@ -335,18 +418,22 @@ def main(argv: List[str] | None = None) -> int:
     if args.check:
         return check_recorded_speedups(args.output)
 
-    names = args.only or list(BENCHES)
-    unknown = [n for n in names if n not in BENCHES]
+    names = args.only or list(BENCHES) + list(MEMORY_BENCHES)
+    unknown = [n for n in names if n not in BENCHES and n not in MEMORY_BENCHES]
     if unknown:
-        parser.error(f"unknown bench names: {unknown}; known: {list(BENCHES)}")
+        parser.error(
+            f"unknown bench names: {unknown}; "
+            f"known: {list(BENCHES) + list(MEMORY_BENCHES)}"
+        )
 
     previous: Dict[str, object] = {}
     if args.output.exists():
         previous = json.loads(args.output.read_text())
     baseline: Dict[str, float] = dict(previous.get("baseline", {}))
     current: Dict[str, float] = dict(previous.get("current", {}))
+    memory: Dict[str, Dict[str, float]] = dict(previous.get("memory", {}))
 
-    for name in names:
+    for name in (n for n in names if n in BENCHES):
         setup = BENCHES[name]()
         run, rounds = setup[0], setup[1]
         baseline_run = setup[2] if len(setup) > 2 else None
@@ -367,6 +454,15 @@ def main(argv: List[str] | None = None) -> int:
             for line in timers.summary().splitlines():
                 print(f"    {line}")
 
+    for name in (n for n in names if n in MEMORY_BENCHES):
+        readings = MEMORY_BENCHES[name]()
+        memory[name] = readings
+        print(
+            f"{name:32s} {readings['peak_mb']:8.1f} MB peak  "
+            f"({readings['ratio']:.3f}x the {readings['baseline_peak_mb']:.1f} MB "
+            f"materialized footprint)"
+        )
+
     payload = {
         "_meta": {
             "python": platform.python_version(),
@@ -379,11 +475,14 @@ def main(argv: List[str] | None = None) -> int:
                 "engine_parity_*, sharded_discovery_*), whose baseline is their "
                 "same-tree reference workload (full re-detection / monolithic "
                 "single-worker detection / serial-executor detection through "
-                "the engine / scalar kernels-off sharded discovery)"
+                "the engine / scalar kernels-off sharded discovery); 'memory' "
+                "records tracemalloc peaks of the out-of-core session vs the "
+                "materialized-table footprint (a bytes ratio, not a speedup)"
             ),
         },
         "baseline": baseline,
         "current": current,
+        "memory": memory,
         "speedup": {
             name: round(baseline[name] / current[name], 3)
             for name in current

@@ -4,8 +4,9 @@
 This walkthrough writes a synthetic dirty dataset to a CSV file, streams
 it back in bounded-memory chunks straight into a spill-to-disk
 ``ShardStore`` (the whole document is never parsed in one piece, and the
-shard copies live on disk behind a small LRU; the session still
-materializes one logical table for profiling and the edit loop), then
+shard copies live on disk behind a small LRU; the session never
+materializes a monolithic table — profiling, detection, and the edit
+loop all go through a ``ShardOverlay`` over the store), then
 runs discovery and detection through the session layer.  The session routes everything through the
 pluggable execution engine: the planner resolves each run into an
 ``ExecutionPlan`` (printed below, like ``anmat --explain-plan``) and the
@@ -60,8 +61,10 @@ def main() -> None:
               f"suspect rows (strategy={report.strategy})")
 
         # -- the contract: identical to a monolithic run ------------------
+        # (the sharded session's ``table`` is a ShardOverlay; materialize
+        # an eager copy only for this comparison run)
         monolithic = AnmatSession(dataset_name="zips")
-        monolithic.load_table(session.table.copy())
+        monolithic.load_table(session.table.materialize())
         monolithic.run_discovery()
         monolithic.confirm_all()
         mono_report = monolithic.run_detection()
@@ -81,9 +84,9 @@ def main() -> None:
         suggestions = session.repair_suggestions()
         if suggestions:
             session.apply_repair(suggestions[0])
-            print(f"\napplied one repair through the (monolithic) edit loop "
+            print(f"\napplied one repair through the overlay edit loop "
                   f"→ {len(session.violations)} violations remain; the next "
-                  f"full re-check re-shards the edited table")
+                  f"full re-check reads the patched shards through the overlay")
 
 
 if __name__ == "__main__":

@@ -23,7 +23,8 @@ from repro.anmat.session import AnmatSession
 from repro.dataset.csvio import read_csv, read_csv_sharded
 from repro.datagen.registry import build_dataset, dataset_names
 from repro.discovery.config import DiscoveryConfig
-from repro.engine import REQUESTABLE_EXECUTORS
+from repro.engine import DEFAULT_SHARD_ROWS, REQUESTABLE_EXECUTORS
+from repro.sharding import STORE_KINDS, ShardedTable, make_shard_store
 from repro.metrics.evaluation import evaluate_report
 
 #: ``detect`` exit codes, distinct so shell pipelines can gate on clean
@@ -38,14 +39,30 @@ def _load_table(args: argparse.Namespace):
 
     With ``--shard-rows`` a CSV upload is streamed through the chunked
     reader straight into shards — the whole document is never parsed in
-    one piece — and discovery/detection run shard-wise.
+    one piece — and discovery/detection run shard-wise.  ``--store``
+    picks where those shards live (in memory, spilled to disk, or in a
+    local object store); a non-memory store without ``--shard-rows``
+    implies the default shard size, since out-of-core storage only
+    helps when the upload is sharded.
     """
     shard_rows = getattr(args, "shard_rows", 0)
+    store_kind = getattr(args, "store", "memory")
+    spill_dir = getattr(args, "spill_dir", None)
+    if store_kind != "memory" and shard_rows <= 0:
+        shard_rows = DEFAULT_SHARD_ROWS
     if args.csv:
         if shard_rows > 0:
-            return read_csv_sharded(Path(args.csv), shard_rows), None, Path(args.csv).stem
+            store = make_shard_store(store_kind, spill_dir)
+            sharded = read_csv_sharded(Path(args.csv), shard_rows, store=store)
+            return sharded, None, Path(args.csv).stem
         return read_csv(Path(args.csv)), None, Path(args.csv).stem
     dataset = build_dataset(args.dataset)
+    if store_kind != "memory":
+        # built-in datasets are generated in memory; re-shard them into
+        # the requested store so the session still runs out of core
+        store = make_shard_store(store_kind, spill_dir)
+        sharded = ShardedTable.from_table(dataset.table, shard_rows, store=store)
+        return sharded, dataset.error_cells, dataset.name
     return dataset.table, dataset.error_cells, dataset.name
 
 
@@ -56,6 +73,8 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         shard_rows=getattr(args, "shard_rows", 0),
         n_workers=getattr(args, "n_workers", 0),
         use_kernels=getattr(args, "use_kernels", "auto"),
+        store=getattr(args, "store", "memory"),
+        spill_dir=getattr(args, "spill_dir", None),
     )
     session = AnmatSession(dataset_name=label, config=config)
     session.load_table(table)
@@ -120,6 +139,29 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--store",
+        default="memory",
+        choices=list(STORE_KINDS),
+        help=(
+            "shard store backend for the upload: 'memory' keeps shards "
+            "in process (the default), 'spill' spills sealed shards to "
+            "disk and reloads them on demand, 'object' puts them in a "
+            "local object store with checksummed reads; a non-memory "
+            "store implies --shard-rows "
+            f"{DEFAULT_SHARD_ROWS} when none is given; results are "
+            "identical across stores"
+        ),
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the 'spill' and 'object' stores (default: a "
+            "temporary directory cleaned up when the store closes)"
+        ),
+    )
+    parser.add_argument(
         "--use-kernels",
         default="auto",
         choices=("auto", "on", "off"),
@@ -170,33 +212,33 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     table, _truth, label = _load_table(args)
-    session = _make_session(table, label, args)
-    profile = session.run_profiling()
+    with _make_session(table, label, args) as session:
+        profile = session.run_profiling()
     print(render_profile(profile))
     return 0
 
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     table, _truth, label = _load_table(args)
-    session = _make_session(table, label, args)
-    _explain_plans(args, lambda: session.plan_discovery(args.executor))
-    result = session.run_discovery(executor=args.executor)
+    with _make_session(table, label, args) as session:
+        _explain_plans(args, lambda: session.plan_discovery(args.executor))
+        result = session.run_discovery(executor=args.executor)
     print(render_discovered_pfds(result))
     return 0
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     table, truth, label = _load_table(args)
-    session = _make_session(table, label, args)
-    _explain_plans(
-        args,
-        lambda: session.plan_discovery(args.executor),
-        lambda: session.plan_detection(strategy=args.strategy, executor=args.executor),
-    )
-    session.run_discovery(executor=args.executor)
-    session.confirm_all()
-    report = session.run_detection(strategy=args.strategy, executor=args.executor)
-    print(render_violations(report, table))
+    with _make_session(table, label, args) as session:
+        _explain_plans(
+            args,
+            lambda: session.plan_discovery(args.executor),
+            lambda: session.plan_detection(strategy=args.strategy, executor=args.executor),
+        )
+        session.run_discovery(executor=args.executor)
+        session.confirm_all()
+        report = session.run_detection(strategy=args.strategy, executor=args.executor)
+        print(render_violations(report, session.table))
     if args.score:
         if truth is None:
             print(

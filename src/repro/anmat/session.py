@@ -30,7 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.anmat.project import Project
 from repro.dataset.csvio import iter_csv_chunks
-from repro.dataset.profiling import TableProfile, profile_table
+from repro.dataset.profiling import TableProfile
 from repro.dataset.table import Table
 from repro.detection.detector import DetectionStrategy
 from repro.detection.incremental import IncrementalDetector
@@ -49,7 +49,7 @@ from repro.engine import (
 from repro.errors import ProjectError
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
-from repro.sharding.store import InMemoryShardStore, ShardStore
+from repro.sharding.store import ShardStore, make_shard_store
 
 
 class SessionState(enum.Enum):
@@ -68,6 +68,10 @@ class AnmatSession:
     """One dataset's journey through the ANMAT pipeline."""
 
     dataset_name: str
+    #: the row-addressable logical dataset: a :class:`Table` for
+    #: monolithic loads, a :class:`~repro.sharding.overlay.ShardOverlay`
+    #: for sharded uploads (same read/mutation interface; the shard
+    #: bytes stay on their store)
     table: Optional[Table] = None
     project: Optional[Project] = None
     config: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -83,7 +87,8 @@ class AnmatSession:
     _detection_rules: List[PFD] = field(default_factory=list, repr=False)
     _detection_strategy: str = field(default=DetectionStrategy.AUTO, repr=False)
     _incremental: Optional[IncrementalDetector] = field(default=None, repr=False)
-    #: the dataset as the engine sees it: monolithic table + sharded view
+    #: the dataset as the engine sees it: eager monolithic table, or a
+    #: never-materialized shard-store source
     _source: Optional[DataSource] = field(default=None, repr=False)
 
     # -- step 1: load ------------------------------------------------------------
@@ -92,21 +97,26 @@ class AnmatSession:
         """Attach ("upload") the dataset to the session.
 
         A :class:`ShardedTable` (e.g. from the chunked CSV reader, or
-        built over a spill-to-disk :class:`ShardStore`) is accepted too:
-        the session keeps the sharded view for the sharded execution
-        paths and materializes the logical table (cell refs shared with
-        the shards) for everything else — profiling views, repairs, and
-        the edit loop stay monolithic.
+        built over a spill/object :class:`ShardStore`) is accepted too —
+        and is **never materialized**: the session's ``table`` becomes a
+        row-addressable :class:`~repro.sharding.overlay.ShardOverlay`
+        over the shard store, which profiling views, repairs, and the
+        edit loop all read and mutate through, while the shard bytes
+        stay wherever the store keeps them.
 
         Any edit loop over a previously loaded table is dropped — its
-        detector would otherwise keep mutating the *old* table.
+        detector would otherwise keep mutating the *old* table — and the
+        previous dataset's shard store is closed (spill files and object
+        roots are released as soon as they are unreachable, not at
+        interpreter exit).
         """
+        if self._source is not None:
+            self._source.close()
         if isinstance(table, ShardedTable):
-            self.table = table.to_table()
-            self._source = DataSource(self.table, sharded=table)
+            self._source = DataSource.from_sharded(table)
         else:
-            self.table = table
             self._source = DataSource(table)
+        self.table = self._source.view
         self.violations = None
         self._detection_rules = []
         self._incremental = None
@@ -126,22 +136,23 @@ class AnmatSession:
 
         The streaming-ingest entry point: :func:`iter_csv_chunks` parses
         the document in bounded-memory chunks and each chunk is appended
-        to ``store`` as it arrives — with a
-        :class:`~repro.sharding.store.SpillToDiskShardStore` the *parse*
-        never holds more than one chunk (plus the store's small LRU) in
-        memory.  The closing :meth:`load_table` then materializes the
-        logical table for the session's monolithic consumers (profiling
-        views, repairs, the edit loop), so the session's resident
-        footprint is still one copy of the dataset's cell strings; what
-        the spill store bounds is the ingest path and the shard copies.
-        ``shard_rows`` falls back to ``config.shard_rows``, then to the
-        engine default; extra keyword arguments reach the CSV reader
-        (``delimiter``, ``header``, ``column_names``, ...).
+        to ``store`` as it arrives — with a spill/object store the
+        *parse* never holds more than one chunk (plus the store's small
+        LRU) in memory.  The closing :meth:`load_table` keeps the
+        dataset on that store: the session reads through a shard
+        overlay, so with a disk-backed store the resident footprint is
+        bounded by the store's LRU (plus its interned distinct values),
+        not the dataset.  ``store`` defaults to the backend
+        ``config.store`` names (``memory``/``spill``/``object``, rooted
+        at ``config.spill_dir``); ``shard_rows`` falls back to
+        ``config.shard_rows``, then to the engine default; extra keyword
+        arguments reach the CSV reader (``delimiter``, ``header``,
+        ``column_names``, ...).
         """
         if shard_rows <= 0:
             shard_rows = self.config.shard_rows or DEFAULT_SHARD_ROWS
         if store is None:
-            store = InMemoryShardStore()
+            store = make_shard_store(self.config.store, self.config.spill_dir)
         sharded = ShardedTable.from_chunks(
             iter_csv_chunks(path, shard_rows, **csv_kwargs), store=store
         )
@@ -165,9 +176,13 @@ class AnmatSession:
     # -- step 2: profile ------------------------------------------------------------
 
     def run_profiling(self) -> TableProfile:
-        """Profile every column (the Figure 3 view)."""
+        """Profile every column (the Figure 3 view).
+
+        Sharded uploads are profiled shard-major through the streaming
+        column builders — one resident shard at a time, identical output
+        to profiling the materialized table."""
         self._require_table()
-        self.profile = profile_table(self.table)
+        self.profile = self._source.profile()
         self.state = SessionState.PROFILED
         return self.profile
 
@@ -348,6 +363,29 @@ class AnmatSession:
     def apply_repair(self, suggestion: RepairSuggestion) -> ViolationReport:
         """Apply one repair suggestion through the edit loop."""
         return self.edit_cell(suggestion.row, suggestion.attribute, suggestion.suggested_value)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the dataset's backing shard store.
+
+        Spill directories and object roots are freed here instead of at
+        interpreter exit; in-memory datasets make this a no-op.  The
+        session object stays usable — loading another table reopens it.
+        Idempotent, and also invoked when the session is used as a
+        context manager.
+        """
+        if self._source is not None:
+            self._source.close()
+            self._source = None
+        self.table = None
+        self._incremental = None
+
+    def __enter__(self) -> "AnmatSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- summary ----------------------------------------------------------------------
 

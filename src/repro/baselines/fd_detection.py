@@ -58,8 +58,6 @@ def detect_fd_violations(table: Table, fds: Iterable[FunctionalDependency]) -> V
                                 rule_index=0,
                                 rule_text=str(fd),
                                 rows=(witness, row),
-                                cells=((witness, rhs_attribute), (row, rhs_attribute)),
-                                suspect_cell=(row, rhs_attribute),
                                 observed_value=value,
                                 expected_value=majority,
                             )
@@ -90,8 +88,6 @@ def detect_cfd_violations(table: Table, cfds: Iterable[CFD]) -> ViolationReport:
                     rule_index=0,
                     rule_text=f"[{cfd.lhs_attribute}={rule.lhs_value}] → [{cfd.rhs_attribute}={rule.rhs_value}]",
                     rows=(row,),
-                    cells=((row, cfd.lhs_attribute), (row, cfd.rhs_attribute)),
-                    suspect_cell=(row, cfd.rhs_attribute),
                     observed_value=rhs_value,
                     expected_value=rule.rhs_value,
                 )

@@ -72,8 +72,6 @@ class PatternOutlierDetector:
                     rule_index=0,
                     rule_text=f"{name} ~ {dominant}",
                     rows=(row,),
-                    cells=((row, name),),
-                    suspect_cell=(row, name),
                     observed_value=values[row],
                     expected_value=None,
                 )

@@ -8,7 +8,7 @@ the string values in each column.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.dataset.schema import DataType, Schema
 from repro.dataset.table import Table
@@ -45,13 +45,31 @@ def infer_column_type(values: Sequence[str], threshold: float = 1.0) -> DataType
     which is the conservative choice for dependency discovery (a zip code
     column with one alphanumeric value should still be treated as text).
     """
-    non_empty = [v for v in values if v.strip() != ""]
-    if not non_empty:
+    counts: Dict[str, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return infer_column_type_from_counts(counts, threshold=threshold)
+
+
+def infer_column_type_from_counts(
+    value_counts: Mapping[str, int], threshold: float = 1.0
+) -> DataType:
+    """Counts-based twin of :func:`infer_column_type`.
+
+    Takes value → multiplicity over the distinct values of a column (the
+    shape streaming profilers accumulate shard by shard); blank values
+    may be present or absent — they are filtered either way.  The result
+    is identical to inferring over the expanded value stream, because
+    the per-value predicates are deterministic and the conformance ratio
+    only weights them by multiplicity.
+    """
+    weighted = [(v, c) for v, c in value_counts.items() if v.strip() != ""]
+    if not weighted:
         return DataType.EMPTY
-    total = len(non_empty)
+    total = sum(c for _v, c in weighted)
 
     def conforms(predicate) -> bool:
-        hits = sum(1 for v in non_empty if predicate(v))
+        hits = sum(c for v, c in weighted if predicate(v))
         return hits / total >= threshold
 
     if conforms(lambda v: v.strip().lower() in _BOOLEAN_TOKENS):

@@ -1,0 +1,37 @@
+"""Compact row-id sequences.
+
+Pair groups, ``≡_Q`` blocks, and pattern-tuple candidates all carry
+collections of global row ids.  Stored as plain Python lists on a large
+dataset those collections dominate the resident footprint (a boxed int
+plus a pointer slot costs ~36 bytes per row); the out-of-core session
+path therefore keeps them as ``array('i')`` — 4 bytes per row, iteration
+still yields plain Python ints, and ``len``/``min``/``set``/numpy fancy
+indexing all keep working.
+
+Both the scalar and the vectorized builders produce the same type, so
+the "kernel output equals scalar output" dict-equality contract is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, MutableSequence
+
+#: 32-bit signed — row ids are global row indexes, far below 2**31.
+ROW_ID_TYPECODE = "i"
+
+#: The concrete sequence type (``array('i')``); iteration yields ints.
+RowIds = MutableSequence[int]
+
+
+def row_ids(values: Iterable[int] = ()) -> "array[int]":
+    """A compact row-id sequence from any iterable of ints."""
+    return array(ROW_ID_TYPECODE, values)
+
+
+def row_ids_from_numpy(arr) -> "array[int]":
+    """A compact row-id sequence from a numpy integer array (one copy)."""
+    out = array(ROW_ID_TYPECODE)
+    out.frombytes(arr.astype("i4", copy=False).tobytes())
+    return out

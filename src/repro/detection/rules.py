@@ -90,8 +90,6 @@ def shift_violation_after_delete(violation: Violation, deleted_row: int) -> Viol
     return replace(
         violation,
         rows=tuple(shift(r) for r in violation.rows),
-        cells=tuple((shift(r), attr) for r, attr in violation.cells),
-        suspect_cell=(shift(violation.suspect_cell[0]), violation.suspect_cell[1]),
     )
 
 
@@ -160,8 +158,6 @@ class ConstantRuleEvaluator:
             rule_index=self.rule_index,
             rule_text=self.rule_text,
             rows=(row,),
-            cells=((row, self.lhs), (row, self.rhs)),
-            suspect_cell=(row, self.rhs),
             observed_value=observed,
             expected_value=self.expected,
         )
@@ -327,13 +323,6 @@ class VariableRuleEvaluator:
                         rule_index=self.rule_index,
                         rule_text=self.rule_text,
                         rows=(witness, row),
-                        cells=(
-                            (witness, self.lhs),
-                            (witness, self.rhs),
-                            (row, self.lhs),
-                            (row, self.rhs),
-                        ),
-                        suspect_cell=(row, self.rhs),
                         observed_value=value,
                         expected_value=majority,
                     )

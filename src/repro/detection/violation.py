@@ -24,9 +24,15 @@ class ViolationKind:
     VARIABLE = "variable"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Violation:
-    """One detected violation of a PFD rule."""
+    """One detected violation of a PFD rule.
+
+    Kept deliberately compact (slotted, with the cell tuples derived
+    rather than stored): detection reports on large datasets hold one
+    instance per violating row, and the per-instance ``__dict__`` plus
+    materialized cell tuples would otherwise rival the dataset itself.
+    """
 
     pfd_name: str
     lhs_attribute: str
@@ -35,11 +41,27 @@ class Violation:
     rule_index: int
     rule_text: str
     rows: Tuple[int, ...]
-    cells: Tuple[Cell, ...]
-    #: the cell the engine believes is wrong (RHS of the offending tuple)
-    suspect_cell: Cell
     observed_value: str
     expected_value: Optional[str] = None
+
+    @property
+    def cells(self) -> Tuple[Cell, ...]:
+        """Every cell participating in the violation: each involved row
+        crossed with the rule's attributes (just the one cell per row
+        when the rule is over a single attribute)."""
+        if self.lhs_attribute == self.rhs_attribute:
+            return tuple((row, self.rhs_attribute) for row in self.rows)
+        return tuple(
+            (row, attr)
+            for row in self.rows
+            for attr in (self.lhs_attribute, self.rhs_attribute)
+        )
+
+    @property
+    def suspect_cell(self) -> Cell:
+        """The cell the engine believes is wrong — always the RHS cell of
+        the offending tuple (the last entry of ``rows``)."""
+        return (self.rows[-1], self.rhs_attribute)
 
     def describe(self) -> str:
         """Human-readable one-liner, e.g. ``8505467600 | CA`` of Table 3."""

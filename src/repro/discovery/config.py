@@ -71,6 +71,16 @@ class DiscoveryConfig:
         when numpy is absent — results are identical either way);
         ``"off"`` forces the scalar path.  The execution plan records
         the resolved choice.
+    store:
+        Which :class:`~repro.sharding.store.ShardStore` backend sharded
+        uploads stream into: ``"memory"`` (live tables), ``"spill"``
+        (CSV spill files + small LRU) or ``"object"`` (checksummed
+        objects behind a get/put/list client).  Recorded on the
+        execution plan.  Ignored for monolithic runs.
+    spill_dir:
+        Root directory for the ``spill``/``object`` stores.  ``None``
+        uses a private temporary directory removed when the session (or
+        store) is closed.
     """
 
     min_coverage: float = 0.6
@@ -88,6 +98,8 @@ class DiscoveryConfig:
     n_workers: int = 0
     shard_rows: int = 0
     use_kernels: str = "auto"
+    store: str = "memory"
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -112,6 +124,10 @@ class DiscoveryConfig:
         if self.use_kernels not in ("auto", "on", "off"):
             raise DiscoveryError(
                 f"use_kernels must be 'auto', 'on' or 'off', got {self.use_kernels!r}"
+            )
+        if self.store not in ("memory", "spill", "object"):
+            raise DiscoveryError(
+                f"store must be 'memory', 'spill' or 'object', got {self.store!r}"
             )
 
     @property

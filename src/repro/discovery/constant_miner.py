@@ -15,7 +15,23 @@ from typing import List, Optional, Sequence
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.decision import DecisionFunction, MajorityDecision, PatternTupleCandidate
 from repro.discovery.inverted_index import ColumnTokenization, InvertedList
+from repro.kernels.runtime import HAVE_NUMPY, np
 from repro.perf.timers import StageTimers, stage_or_null
+
+
+def _rows_bitmask(rows) -> int:
+    """Pack a sequence of row ids into an int bitmask (bit i = row i)."""
+    if not len(rows):
+        return 0
+    if HAVE_NUMPY:
+        ids = np.asarray(rows)
+        bits = np.zeros(int(ids.max()) + 1, dtype=bool)
+        bits[ids] = True
+        return int.from_bytes(np.packbits(bits, bitorder="little").tobytes(), "little")
+    mask = 0
+    for row in rows:
+        mask |= 1 << row
+    return mask
 
 
 class ConstantPfdMiner:
@@ -79,20 +95,24 @@ class ConstantPfdMiner:
             key=lambda c: (-c.support, -c.agreement, len(c.pattern_text), c.pattern_text),
         )
         kept: List[PatternTupleCandidate] = []
-        covered_by_rhs = {}
+        # Coverage is tracked as one int bitmask per RHS constant (bit i =
+        # tuple i covered): a set of boxed row ids here peaks at tens of
+        # megabytes on large columns, the bitmask at n_rows / 8 bytes.
+        covered_by_rhs: dict = {}
         for candidate in ordered:
             if len(kept) >= self.config.max_tableau_rows:
                 break
-            already = covered_by_rhs.setdefault(candidate.rhs_constant, set())
-            new_tuples = set(candidate.covered_tuple_ids) - already
-            if not new_tuples:
+            already = covered_by_rhs.get(candidate.rhs_constant, 0)
+            mask = _rows_bitmask(candidate.covered_tuple_ids)
+            new_bits = mask & ~already
+            if not new_bits:
                 continue
-            if len(new_tuples) < self.config.min_support and already:
+            if new_bits.bit_count() < self.config.min_support and already:
                 # The marginal contribution is below the support floor;
                 # a more general kept pattern already explains the rest.
                 continue
             kept.append(candidate)
-            already.update(candidate.covered_tuple_ids)
+            covered_by_rhs[candidate.rhs_constant] = already | mask
         return kept
 
     def coverage(

@@ -9,8 +9,9 @@ constant the covered tuples (mostly) agree on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.dataset.rowids import RowIds, row_ids
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.inverted_index import InvertedEntry
 from repro.patterns.generalize import generalize_strings, generalize_with_literal_prefix
@@ -27,8 +28,8 @@ class PatternTupleCandidate:
     rhs_constant: str
     support: int
     agreement: float
-    covered_tuple_ids: List[int]
-    violating_tuple_ids: List[int]
+    covered_tuple_ids: RowIds
+    violating_tuple_ids: RowIds
     source_token: str
     source_position: int
 
@@ -98,8 +99,8 @@ class MajorityDecision(DecisionFunction):
             rhs_constant=top_value,
             support=len(matching),
             agreement=len(agreeing) / len(matching),
-            covered_tuple_ids=matching,
-            violating_tuple_ids=violating,
+            covered_tuple_ids=row_ids(matching),
+            violating_tuple_ids=row_ids(violating),
             source_token=entry.token,
             source_position=entry.position,
         )

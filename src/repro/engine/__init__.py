@@ -41,10 +41,14 @@ from repro.engine.plan import (
     plan_run,
 )
 from repro.engine.pool import make_shard_map, process_map, serial_map
+from repro.sharding.object_store import LocalObjectClient, ObjectShardStore
+from repro.sharding.overlay import ShardOverlay
 from repro.sharding.store import (
+    STORE_KINDS,
     InMemoryShardStore,
     ShardStore,
     SpillToDiskShardStore,
+    make_shard_store,
 )
 
 __all__ = [
@@ -55,13 +59,18 @@ __all__ = [
     "ExecutionPlan",
     "Executor",
     "InMemoryShardStore",
+    "LocalObjectClient",
+    "ObjectShardStore",
     "ParallelExecutor",
     "PlanWarning",
     "REQUESTABLE_EXECUTORS",
+    "STORE_KINDS",
     "SerialExecutor",
+    "ShardOverlay",
     "ShardStore",
     "ShardedExecutor",
     "SpillToDiskShardStore",
+    "make_shard_store",
     "build_executor",
     "detect_all_parallel",
     "make_shard_map",

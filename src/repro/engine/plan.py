@@ -82,6 +82,13 @@ class ExecutionPlan:
     #: resolved kernel choice: ``"on"`` when the vectorized columnar
     #: kernels run the hot paths, ``"off"`` for the scalar paths
     use_kernels: str = "off"
+    #: resolved materialization mode: ``"never"`` when a sharded upload
+    #: runs end to end on its shard store, ``"eager"`` when a monolithic
+    #: table is (or already was) built for the run
+    materialization: str = "eager"
+    #: the shard store backend the upload streams through (``"memory"``,
+    #: ``"spill"`` or ``"object"``; meaningful for sharded uploads)
+    store: str = "memory"
     #: the executor the caller asked for (``"auto"`` or a backend name)
     requested_executor: str = "auto"
     #: human-readable routing decisions, in the order they were taken
@@ -91,7 +98,7 @@ class ExecutionPlan:
         """The ``--explain-plan`` rendering: one summary line plus one
         indented line per recorded decision."""
         if self.backend == ExecutionBackend.SHARDED:
-            shape = f"shards={self.n_shards}x{self.shard_rows}"
+            shape = f"shards={self.n_shards}x{self.shard_rows} store={self.store}"
         else:
             shape = f"strategy={self.strategy}"
         lines = [
@@ -253,6 +260,25 @@ def plan_run(
         shard_rows = max(1, shard_rows)
         n_shards = max(1, math.ceil(n_rows / shard_rows)) if n_rows else 1
 
+    # -- materialization -----------------------------------------------------
+    # A sharded upload that runs on the sharded backend never builds a
+    # monolithic table: profiling, discovery, detection and the edit loop
+    # all read through the shard store (and the edit overlay).  Any other
+    # combination materializes.
+    materialization = "eager"
+    if sharded_upload:
+        if backend == ExecutionBackend.SHARDED:
+            materialization = "never"
+            decisions.append(
+                "materialization=never: the sharded upload runs end to end "
+                f"on its {config.store} shard store"
+            )
+        else:
+            decisions.append(
+                f"materialization=eager: the {backend} backend materializes "
+                "the sharded upload into one monolithic table"
+            )
+
     return ExecutionPlan(
         kind=kind,
         backend=backend,
@@ -263,6 +289,8 @@ def plan_run(
         n_shards=n_shards,
         n_rows=n_rows,
         use_kernels=use_kernels,
+        materialization=materialization,
+        store=config.store,
         requested_executor=executor,
         decisions=decisions,
     )

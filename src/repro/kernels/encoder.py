@@ -116,14 +116,30 @@ def encode_column(values: Sequence[str]) -> ColumnEncoding:
     """Factorize one column (codes in first-appearance order)."""
     if not HAVE_NUMPY:
         raise RuntimeError("encode_column requires numpy; gate on kernels_enabled()")
+    return encode_chunks((values,))
+
+
+def encode_chunks(chunks) -> ColumnEncoding:
+    """Factorize one logical column delivered as value chunks (e.g. one
+    chunk per resident shard), without concatenating them.
+
+    Codes accumulate in a compact ``array('i')`` — on a large column the
+    boxed-int list the obvious implementation builds would transiently
+    rival the encoded output itself.
+    """
+    if not HAVE_NUMPY:
+        raise RuntimeError("encode_chunks requires numpy; gate on kernels_enabled()")
+    from array import array
+
     index: Dict[str, int] = {}
     distinct: List[str] = []
-    codes: List[int] = []
+    codes = array("i")
     append = codes.append
     setdefault = index.setdefault
-    for value in values:
-        code = setdefault(value, len(distinct))
-        if code == len(distinct):
-            distinct.append(value)
-        append(code)
-    return ColumnEncoding(distinct, np.asarray(codes, dtype=np.int32))
+    for values in chunks:
+        for value in values:
+            code = setdefault(value, len(distinct))
+            if code == len(distinct):
+                distinct.append(value)
+            append(code)
+    return ColumnEncoding(distinct, np.frombuffer(codes, dtype=np.int32).copy())

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.dataset.rowids import row_ids_from_numpy
 from repro.kernels.encoder import encode_column
 from repro.kernels.runtime import np
 from repro.sharding.stats import PairGroups
@@ -43,6 +44,7 @@ def pair_groups_kernel(
     ordered = combined[order]
     if offset:
         order = order + offset
+    order = order.astype(np.int32, copy=False)
     # group boundaries: positions where the combined key changes
     boundaries = np.flatnonzero(ordered[1:] != ordered[:-1]) + 1
     starts = [0, *boundaries.tolist(), n]
@@ -65,7 +67,7 @@ def pair_groups_kernel(
         key = int(ordered[start])
         lhs_code = key >> 32
         rhs_code = key & 0xFFFFFFFF
-        rows = order[start:stop].tolist()
+        rows = row_ids_from_numpy(order[start:stop])
         if lhs_code != current_code:
             flush()
             current_code = lhs_code

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import constrained_prefix
+from repro.dataset.rowids import row_ids_from_numpy
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.constant_miner import ConstantPfdMiner
 from repro.discovery.decision import MajorityDecision, PatternTupleCandidate
@@ -160,8 +161,8 @@ def mine_constant_kernel(
                     rhs_constant=top_value,
                     support=n_matching,
                     agreement=n_agreeing / n_matching,
-                    covered_tuple_ids=matching_rows.tolist(),
-                    violating_tuple_ids=matching_rows[~agree_mask].tolist(),
+                    covered_tuple_ids=row_ids_from_numpy(matching_rows),
+                    violating_tuple_ids=row_ids_from_numpy(matching_rows[~agree_mask]),
                     source_token=token,
                     source_position=position,
                 )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.patterns.alphabet import CharClass, classify_char
 from repro.patterns.pattern import Pattern
@@ -167,16 +167,45 @@ class PatternHistogram:
     """
 
     def __init__(self, values: Iterable[str], level: int = 1, max_examples: int = 3):
-        counts: Dict[str, PatternCount] = {}
-        total = 0
         # Generalize once per *distinct* value: duplicate values map to the
         # same pattern, and real columns are dominated by repeats.  The
         # first-seen iteration order of the per-value counter keeps the
         # example lists identical to a plain one-pass scan.
         by_value: Dict[str, int] = {}
+        total = 0
         for value in values:
             by_value[value] = by_value.get(value, 0) + 1
             total += 1
+        self._init_from_counts(by_value, total, level, max_examples)
+
+    @classmethod
+    def from_counts(
+        cls,
+        value_counts: Mapping[str, int],
+        level: int = 1,
+        max_examples: int = 3,
+    ) -> "PatternHistogram":
+        """Build a histogram from pre-aggregated value → multiplicity counts.
+
+        With ``value_counts`` in first-seen order (a plain dict filled by
+        a forward scan — e.g. accumulated shard by shard), the result is
+        identical to profiling the expanded value stream: counts, entry
+        order, and example lists all match.
+        """
+        self = cls.__new__(cls)
+        self._init_from_counts(
+            value_counts, sum(value_counts.values()), level, max_examples
+        )
+        return self
+
+    def _init_from_counts(
+        self,
+        by_value: Mapping[str, int],
+        total: int,
+        level: int,
+        max_examples: int,
+    ) -> None:
+        counts: Dict[str, PatternCount] = {}
         for value, occurrences in by_value.items():
             pattern = generalize_string(value, level=level)
             key = pattern.to_text()

@@ -11,6 +11,12 @@ stage bounded by the shard size and fan-out-ready for worker processes.
 
 from repro.sharding.detection import SHARDED_STRATEGY, ShardedDetector
 from repro.sharding.discovery import ShardedDiscoverer
+from repro.sharding.object_store import (
+    LocalObjectClient,
+    ObjectShardStore,
+    ObjectStoreError,
+)
+from repro.sharding.overlay import OverlayShardStore, ShardOverlay
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import (
     MergedPairGroups,
@@ -19,21 +25,30 @@ from repro.sharding.stats import (
     merge_tokenizations,
 )
 from repro.sharding.store import (
+    STORE_KINDS,
     InMemoryShardStore,
     ShardStore,
     SpillToDiskShardStore,
+    make_shard_store,
 )
 
 __all__ = [
     "SHARDED_STRATEGY",
+    "STORE_KINDS",
     "ShardedDetector",
     "ShardedDiscoverer",
     "ShardedTable",
     "ShardStore",
+    "ShardOverlay",
+    "OverlayShardStore",
     "InMemoryShardStore",
     "SpillToDiskShardStore",
+    "LocalObjectClient",
+    "ObjectShardStore",
+    "ObjectStoreError",
     "MergedPairGroups",
     "extract_pair_groups",
     "merge_pair_groups",
     "merge_tokenizations",
+    "make_shard_store",
 ]

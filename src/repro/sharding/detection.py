@@ -40,6 +40,7 @@ from typing import (
     Tuple,
 )
 
+from repro.dataset.rowids import RowIds, row_ids
 from repro.detection.rules import (
     ConstantRuleEvaluator,
     VariableRuleEvaluator,
@@ -64,7 +65,7 @@ SHARDED_STRATEGY = "sharded"
 
 #: key → RHS value → global rows: one rule's cross-shard ``≡_Q`` blocks,
 #: pre-split by RHS value.
-SplitBlocks = Dict[Hashable, Dict[str, List[int]]]
+SplitBlocks = Dict[Hashable, Dict[str, RowIds]]
 
 
 class ShardedDetector:
@@ -237,8 +238,8 @@ class ShardedDetector:
             for rhs_value, rows in by_rhs.items():
                 existing = bucket.get(rhs_value)
                 if existing is None:
-                    # copy: block buckets must not alias the statistic's lists
-                    bucket[rhs_value] = list(rows)
+                    # copy: block buckets must not alias the statistic's rows
+                    bucket[rhs_value] = row_ids(rows)
                 else:
                     existing.extend(rows)
         return blocks

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.dataset.profiling import TableProfile, profile_column
+from repro.dataset.profiling import TableProfile, profile_sharded
 from repro.discovery.candidates import CandidateDependency, candidate_dependencies
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.decision import DecisionFunction
@@ -29,7 +29,7 @@ from repro.discovery.discoverer import (
     _mine_candidate_values,
 )
 from repro.discovery.inverted_index import ColumnTokenization
-from repro.kernels.encoder import ColumnEncoding, encode_column
+from repro.kernels.encoder import ColumnEncoding, encode_chunks
 from repro.kernels.runtime import kernels_enabled
 from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
 from repro.pfd.pfd import PFD
@@ -90,13 +90,11 @@ class ShardedDiscoverer:
     # -- merged statistics --------------------------------------------------------
 
     def _profile(self, sharded: ShardedTable) -> TableProfile:
-        """Profile the logical table from the concatenated columns
-        (identical to ``profile_table`` on the monolithic table)."""
-        columns = {
-            name: profile_column(name, sharded.column_concat(name))
-            for name in sharded.column_names()
-        }
-        return TableProfile(n_rows=sharded.n_rows, columns=columns)
+        """Profile the logical table shard-major via the streaming
+        builders — one resident shard at a time, never a concatenated
+        column (identical to ``profile_table`` on the monolithic
+        table)."""
+        return profile_sharded(sharded)
 
     def _mine_merged(
         self, sharded: ShardedTable, candidates: Sequence[CandidateDependency]
@@ -134,6 +132,7 @@ class ShardedDiscoverer:
                     timers=timers,
                 )
             )
+        self._drop_mining_artifacts(sharded)
         return reports
 
     def _mine_merged_kernel(
@@ -154,9 +153,14 @@ class ShardedDiscoverer:
         def encoding_for(name: str) -> ColumnEncoding:
             encoding = encodings.get(name)
             if encoding is None:
+                # stream shard by shard: the concatenated column is never
+                # materialized on the kernel path
                 encoding = encodings[name] = sharded.merged_artifact(
                     ("column_encoding", name),
-                    lambda: encode_column(sharded.column_concat(name)),
+                    lambda: encode_chunks(
+                        shard.column_ref(name)
+                        for _offset, shard in sharded.iter_shards()
+                    ),
                 )
             return encoding
 
@@ -212,7 +216,20 @@ class ShardedDiscoverer:
                     timers=timers,
                 )
             reports.append(report)
+        self._drop_mining_artifacts(sharded)
         return reports
+
+    @staticmethod
+    def _drop_mining_artifacts(sharded: ShardedTable) -> None:
+        """Release the O(n) merged statistics that exist only to feed the
+        miners; a bounded-memory session must not carry them past
+        discovery (they rebuild on demand if discovery reruns)."""
+        sharded.drop_merged_artifacts(
+            "column_concat",
+            "column_encoding",
+            "kernel_triples",
+            "merged_tokenization",
+        )
 
     def _merged_tokenization(
         self, sharded: ShardedTable, column: str, mode: str

@@ -1,0 +1,239 @@
+"""An object-store-style :class:`~repro.sharding.store.ShardStore` backend.
+
+Shards are serialized to CSV *objects* addressed by string keys through a
+minimal get/put/list client API — the shape of S3-alike blob stores — so
+the only thing a remote backend needs to provide later is another
+:class:`ObjectClient`.  The client shipped today,
+:class:`LocalObjectClient`, keeps objects as files under a local root.
+
+On top of the raw byte transport the store adds the two things a remote
+medium needs that local spill files do not:
+
+* **checksums** — every object is written alongside its SHA-256 digest
+  and verified on read, so a torn or bit-rotted object is an error, not
+  silently wrong data;
+* **read retries** — a failed read (checksum mismatch or client error)
+  is retried a bounded number of times before surfacing, the standard
+  posture against transiently inconsistent object reads.
+
+Like :class:`~repro.sharding.store.SpillToDiskShardStore`, re-parsed
+cell strings are interned per store and a small LRU bounds how many
+shards stay resident.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.dataset.table import Table
+from repro.errors import TableError
+from repro.perf.interning import InternPool
+from repro.sharding.store import ShardStore
+
+
+class ObjectStoreError(TableError):
+    """A get/put/list operation against the object client failed."""
+
+
+class LocalObjectClient:
+    """Filesystem-backed object client: keys are paths under one root.
+
+    The API is deliberately the minimal blob-store surface —
+    ``put(key, data)``, ``get(key)``, ``list(prefix)``,
+    ``delete(key)`` — so swapping in a remote client later is a
+    drop-in.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if root is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-objects-")
+            root = self._tmpdir.name
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
+            raise ObjectStoreError(f"invalid object key {key!r}")
+        return self.root / key
+
+    def put(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+
+    def get(self, key: str) -> bytes:
+        path = self._path(key)
+        try:
+            return path.read_bytes()
+        except OSError as exc:
+            raise ObjectStoreError(f"object {key!r} could not be read: {exc}") from exc
+
+    def list(self, prefix: str = "") -> List[str]:
+        keys = []
+        for path in self.root.rglob("*"):
+            if path.is_file():
+                key = path.relative_to(self.root).as_posix()
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+
+class ObjectShardStore(ShardStore):
+    """Shards as checksummed CSV objects behind an :class:`ObjectClient`.
+
+    Parameters
+    ----------
+    client:
+        The object client to store shards through.  ``None`` builds a
+        :class:`LocalObjectClient` over ``root`` (itself defaulting to a
+        private temporary directory removed on :meth:`close`).
+    root:
+        Local root for the default client; ignored when ``client`` is
+        given.
+    prefix:
+        Key prefix for this dataset's shard objects.
+    cache_shards:
+        How many recently read shards stay parsed in memory.
+    max_read_attempts:
+        Total read attempts per shard before a corrupt/unreadable object
+        surfaces as a :class:`TableError`.
+    """
+
+    def __init__(
+        self,
+        client: Optional[LocalObjectClient] = None,
+        root: Union[str, Path, None] = None,
+        prefix: str = "shards",
+        cache_shards: int = 1,
+        max_read_attempts: int = 3,
+    ):
+        super().__init__()
+        if cache_shards < 1:
+            raise TableError(f"cache_shards must be >= 1, got {cache_shards}")
+        if max_read_attempts < 1:
+            raise TableError(f"max_read_attempts must be >= 1, got {max_read_attempts}")
+        self._owns_client = client is None
+        self.client = client if client is not None else LocalObjectClient(root)
+        self.prefix = prefix.rstrip("/")
+        self._cache_shards = cache_shards
+        self._max_read_attempts = max_read_attempts
+        #: per-shard (key, row count, version-at-append, sha256 hexdigest)
+        self._meta: List[Tuple[str, int, int, str]] = []
+        self._loaded: "OrderedDict[int, Table]" = OrderedDict()
+        self._interned = InternPool()
+        #: read attempts beyond the first, for observability/tests
+        self.retried_reads = 0
+
+    # -- serialization -----------------------------------------------------------
+
+    def _key(self, index: int) -> str:
+        return f"{self.prefix}/shard_{index:06d}.csv"
+
+    @staticmethod
+    def _serialize(shard: Table) -> bytes:
+        buffer = io.StringIO(newline="")
+        writer = csv.writer(buffer)
+        for row in shard.iter_rows():
+            writer.writerow(row)
+        return buffer.getvalue().encode("utf-8")
+
+    def _parse(self, index: int, key: str, data: bytes, n_rows: int) -> Table:
+        width = len(self.schema)
+        columns: List[List[str]] = [[] for _ in range(width)]
+        intern = self._interned.intern
+        reader = csv.reader(io.StringIO(data.decode("utf-8"), newline=""))
+        for row in reader:
+            if len(row) != width:
+                raise TableError(
+                    f"object {key} line {reader.line_num} has "
+                    f"{len(row)} fields, expected {width} (corrupted?)"
+                )
+            for column, value in zip(columns, row):
+                column.append(intern(value))
+        shard = Table(self.schema, columns)
+        if shard.n_rows != n_rows:
+            raise TableError(
+                f"shard object {index} read back {shard.n_rows} rows, "
+                f"expected {n_rows} (object corrupted?)"
+            )
+        return shard
+
+    # -- the storage contract ----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._meta)
+
+    def append(self, shard: Table) -> None:
+        self._check_schema(shard)
+        key = self._key(len(self._meta))
+        data = self._serialize(shard)
+        digest = hashlib.sha256(data).hexdigest()
+        self.client.put(key, data)
+        self._meta.append((key, shard.n_rows, shard.version, digest))
+
+    def shard_row_counts(self) -> List[int]:
+        return [n_rows for _key, n_rows, _version, _digest in self._meta]
+
+    def get(self, index: int) -> Table:
+        cached = self._loaded.get(index)
+        if cached is not None:
+            self._loaded.move_to_end(index)
+            return cached
+        key, n_rows, _version, digest = self._meta[index]
+        last_error: Optional[Exception] = None
+        data: Optional[bytes] = None
+        for attempt in range(self._max_read_attempts):
+            if attempt:
+                self.retried_reads += 1
+            try:
+                candidate = self.client.get(key)
+            except ObjectStoreError as exc:
+                last_error = exc
+                continue
+            if hashlib.sha256(candidate).hexdigest() != digest:
+                last_error = TableError(
+                    f"object {key} failed its checksum (expected sha256 {digest[:12]}…)"
+                )
+                continue
+            data = candidate
+            break
+        if data is None:
+            raise TableError(
+                f"shard object {key} unreadable after "
+                f"{self._max_read_attempts} attempts: {last_error}"
+            )
+        shard = self._parse(index, key, data, n_rows)
+        self._loaded[index] = shard
+        while len(self._loaded) > self._cache_shards:
+            self._loaded.popitem(last=False)
+        return shard
+
+    def versions(self) -> Tuple[int, ...]:
+        # objects are frozen at append time, like spill files
+        return tuple(version for _key, _n_rows, version, _digest in self._meta)
+
+    def close(self) -> None:
+        self._loaded.clear()
+        self._interned.clear()
+        if self._owns_client:
+            self.client.close()

@@ -1,0 +1,468 @@
+"""A mutable delta overlay over an immutable :class:`ShardedTable`.
+
+The interactive edit loop (``set_cell`` / ``append_row`` /
+``delete_row`` → incremental re-check) used to require a materialized
+:class:`~repro.dataset.table.Table`: sharded uploads were concatenated
+into one monolithic table just so the session had something mutable.
+:class:`ShardOverlay` removes that requirement.  It presents the full
+mutable-table interface — the same accessors, the same mutation methods,
+the same ``version`` counter and structured
+:class:`~repro.dataset.table.CellEdit`/:class:`~repro.dataset.table.RowAppend`/
+:class:`~repro.dataset.table.RowDelete` delta log — while the base data
+stays wherever its shard store keeps it (memory, spill files, an object
+store).  Edits land in small per-shard dictionaries, appends in a tail
+column set, deletions in a sorted tombstone list; nothing is ever
+rewritten in the base store.
+
+Because the overlay speaks the exact ``Table`` mutation/delta protocol,
+the incremental detector and the per-table artifact cache
+(:data:`repro.perf.table_cache.TABLE_ARTIFACTS`) patch themselves
+forward over it without knowing it is not a plain table.
+
+For the planner's re-check path, :meth:`ShardOverlay.as_sharded` seals
+the current overlay state back into a :class:`ShardedTable` through
+:class:`OverlayShardStore`: shards untouched by the edit session pass
+through *by identity* (so their per-shard cached statistics are reused),
+and only touched shards are patched copy-on-read.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import (
+    MAX_DELTA_LOG,
+    CellEdit,
+    Row,
+    RowAppend,
+    RowDelete,
+    Table,
+    TableDelta,
+    _stringify,
+)
+from repro.errors import TableError
+from repro.sharding.sharded_table import ShardedTable
+from repro.sharding.store import ShardStore
+
+
+class ShardOverlay:
+    """A row-addressable, mutable view layered over a sharded base.
+
+    Logical row order is the base's live rows (base order, minus
+    tombstoned deletions) followed by appended tail rows.  The base
+    :class:`ShardedTable` and its store are never mutated.
+    """
+
+    def __init__(self, base: ShardedTable):
+        self._base = base
+        self._schema: Schema = base.schema
+        #: per-base-shard edits: (local row, column index) → value
+        self._edits: List[Dict[Tuple[int, int], str]] = [
+            {} for _ in range(base.n_shards)
+        ]
+        #: per-base-shard count of applied edits (staleness key material)
+        self._edit_counts: List[int] = [0] * base.n_shards
+        #: deleted *base* global rows, sorted (tombstones)
+        self._deleted: List[int] = []
+        #: appended rows, columnar
+        self._tail_columns: List[List[str]] = [[] for _ in self._schema.names()]
+        self._tail_rows = 0
+        self._version = 0
+        self._delta_log: List[TableDelta] = []
+        self._log_floor = 0
+        #: column-index → (version at build, merged column values)
+        self._column_cache: Dict[int, Tuple[int, List[str]]] = {}
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def base(self) -> ShardedTable:
+        """The immutable sharded base this overlay reads through."""
+        return self._base
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._base.n_rows - len(self._deleted) + self._tail_rows
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._schema)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter — same contract as :attr:`Table.version`."""
+        return self._version
+
+    @property
+    def is_touched(self) -> bool:
+        """Whether any mutation has been applied since construction."""
+        return self._version > 0
+
+    def deltas_since(self, version: int) -> Optional[Tuple[TableDelta, ...]]:
+        """Same contract as :meth:`Table.deltas_since`."""
+        if version > self._version or version < self._log_floor:
+            return None
+        n = self._version - version
+        if n == 0:
+            return ()
+        return tuple(self._delta_log[-n:])
+
+    def _record_delta(self, delta: TableDelta) -> None:
+        self._version += 1
+        self._delta_log.append(delta)
+        if len(self._delta_log) > MAX_DELTA_LOG:
+            drop = len(self._delta_log) - MAX_DELTA_LOG // 2
+            del self._delta_log[:drop]
+            self._log_floor += drop
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardOverlay({self.column_names()}, n_rows={self.n_rows}, "
+            f"edits={sum(self._edit_counts)}, deletes={len(self._deleted)}, "
+            f"appends={self._tail_rows})"
+        )
+
+    def column_names(self) -> List[str]:
+        return self._schema.names()
+
+    # -- row mapping ----------------------------------------------------------
+
+    @property
+    def _n_base_live(self) -> int:
+        return self._base.n_rows - len(self._deleted)
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise TableError(f"row index {row} out of range [0, {self.n_rows})")
+
+    def _base_row(self, row: int) -> int:
+        """Map a live view row (``< _n_base_live``) to its base global row,
+        skipping tombstones."""
+        candidate = row
+        while True:
+            shifted = row + bisect_right(self._deleted, candidate)
+            if shifted == candidate:
+                return candidate
+            candidate = shifted
+
+    # -- reads ----------------------------------------------------------------
+
+    def cell(self, row: int, name: Union[str, Attribute]) -> str:
+        self._check_row(row)
+        return self._cell_by_index(row, self._schema.index_of(name))
+
+    def _cell_by_index(self, row: int, index: int) -> str:
+        tail_row = row - self._n_base_live
+        if tail_row >= 0:
+            return self._tail_columns[index][tail_row]
+        base_row = self._base_row(row)
+        shard_index, local_row = self._base.locate(base_row)
+        edited = self._edits[shard_index].get((local_row, index))
+        if edited is not None:
+            return edited
+        shard = self._base.store.get(shard_index)
+        return shard.column_ref(self._schema[index].name)[local_row]
+
+    def row(self, row: int) -> Row:
+        self._check_row(row)
+        tail_row = row - self._n_base_live
+        if tail_row >= 0:
+            return tuple(col[tail_row] for col in self._tail_columns)
+        base_row = self._base_row(row)
+        shard_index, local_row = self._base.locate(base_row)
+        values = self._base.store.get(shard_index).row(local_row)
+        edits = self._edits[shard_index]
+        if not edits:
+            return values
+        return tuple(
+            edits.get((local_row, j), value) for j, value in enumerate(values)
+        )
+
+    def row_dict(self, row: int) -> Dict[str, str]:
+        return dict(zip(self._schema.names(), self.row(row)))
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Stream logical rows shard-major: one base shard resident at a
+        time (spill/object stores stay bounded), then the tail."""
+        names = self._schema.names()
+        width = len(names)
+        deleted = set(self._deleted)
+        for shard_index, (offset, shard) in enumerate(self._base.iter_shards()):
+            edits = self._edits[shard_index]
+            columns = [shard.column_ref(name) for name in names]
+            for local in range(shard.n_rows):
+                if offset + local in deleted:
+                    continue
+                if edits:
+                    yield tuple(
+                        edits.get((local, j), columns[j][local]) for j in range(width)
+                    )
+                else:
+                    yield tuple(column[local] for column in columns)
+        for tail_row in range(self._tail_rows):
+            yield tuple(column[tail_row] for column in self._tail_columns)
+
+    def column(self, name: Union[str, Attribute]) -> List[str]:
+        return list(self.column_ref(name))
+
+    def column_ref(self, name: Union[str, Attribute]) -> Sequence[str]:
+        """One logical column as a list of string refs, cached per
+        overlay version (pointers into the resident shards/edits — the
+        strings themselves are not copied)."""
+        index = self._schema.index_of(name)
+        cached = self._column_cache.get(index)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        values = self._build_column(index)
+        self._column_cache[index] = (self._version, values)
+        return values
+
+    def _build_column(self, index: int) -> List[str]:
+        name = self._schema[index].name
+        values: List[str] = []
+        for shard_index, (offset, shard) in enumerate(self._base.iter_shards()):
+            column = shard.column_ref(name)
+            edits = self._edits[shard_index]
+            start = bisect_left(self._deleted, offset)
+            stop = bisect_left(self._deleted, offset + shard.n_rows, lo=start)
+            if start == stop and not edits:
+                values.extend(column)
+                continue
+            deleted = set(self._deleted[start:stop])
+            for local, value in enumerate(column):
+                if offset + local in deleted:
+                    continue
+                values.append(edits.get((local, index), value))
+        values.extend(self._tail_columns[index])
+        return values
+
+    def materialize(self) -> Table:
+        """Build a monolithic :class:`Table` of the current state (cell
+        refs shared with the shards; used only for explicitly eager
+        runs)."""
+        return Table(
+            self._schema,
+            [list(self.column_ref(name)) for name in self._schema.names()],
+        )
+
+    # -- in-place mutation (the Table protocol) --------------------------------
+
+    def set_cell(self, row: int, name: Union[str, Attribute], value: object) -> None:
+        """Destructively overwrite one cell — lands in the overlay, never
+        in the base store."""
+        self._check_row(row)
+        index = self._schema.index_of(name)
+        old = self._cell_by_index(row, index)
+        new = _stringify(value)
+        if new == old:
+            # No-op write: same contract as Table.set_cell — don't bump
+            # the version or grow the delta log.
+            return
+        tail_row = row - self._n_base_live
+        if tail_row >= 0:
+            self._tail_columns[index][tail_row] = new
+        else:
+            shard_index, local_row = self._base.locate(self._base_row(row))
+            self._edits[shard_index][(local_row, index)] = new
+            self._edit_counts[shard_index] += 1
+        self._record_delta(
+            CellEdit(
+                version=self._version + 1,
+                row=row,
+                column=self._schema[index].name,
+                old=old,
+                new=new,
+            )
+        )
+
+    def append_row(
+        self, values: Union[Sequence[object], Mapping[str, object]]
+    ) -> int:
+        """Destructively append one row to the overlay tail; returns its
+        logical row index."""
+        if isinstance(values, str):
+            raise TableError(
+                f"append_row needs a sequence or mapping of cell values, got the string {values!r}"
+            )
+        if isinstance(values, Mapping):
+            extra = set(values.keys()) - set(self.column_names())
+            if extra:
+                raise TableError(
+                    f"appended row has unknown attributes {sorted(extra)}"
+                )
+            row_values = [
+                _stringify(values.get(name, "")) for name in self.column_names()
+            ]
+        else:
+            if len(values) != len(self._schema):
+                raise TableError(
+                    f"appended row has {len(values)} values, expected {len(self._schema)}"
+                )
+            row_values = [_stringify(v) for v in values]
+        for column, value in zip(self._tail_columns, row_values):
+            column.append(value)
+        self._tail_rows += 1
+        row = self.n_rows - 1
+        self._record_delta(
+            RowAppend(version=self._version + 1, row=row, values=tuple(row_values))
+        )
+        return row
+
+    def delete_row(self, row: int) -> Row:
+        """Destructively remove one logical row; returns its values.
+
+        Base rows become tombstones (the store is untouched); tail rows
+        are removed outright.  Rows after ``row`` shift down by one, as
+        with :meth:`Table.delete_row`.
+        """
+        self._check_row(row)
+        removed = self.row(row)
+        tail_row = row - self._n_base_live
+        if tail_row >= 0:
+            for column in self._tail_columns:
+                del column[tail_row]
+            self._tail_rows -= 1
+        else:
+            insort(self._deleted, self._base_row(row))
+        self._record_delta(
+            RowDelete(version=self._version + 1, row=row, values=removed)
+        )
+        return removed
+
+    # -- sealing back into a sharded view --------------------------------------
+
+    def _shard_delete_count(self, shard_index: int) -> int:
+        offset = self._base.offset_of(shard_index)
+        end = offset + self._base.shard_row_counts()[shard_index]
+        start = bisect_left(self._deleted, offset)
+        stop = bisect_left(self._deleted, end, lo=start)
+        return stop - start
+
+    def as_sharded(self) -> ShardedTable:
+        """Seal the current overlay state into a :class:`ShardedTable`.
+
+        Untouched base shards pass through by identity (their per-shard
+        cached statistics stay valid); touched shards are patched
+        copy-on-read; appended rows become one extra tail shard.  The
+        result snapshots the current version — mutate the overlay again
+        and you need a fresh seal.
+        """
+        if not self.is_touched:
+            return self._base
+        return ShardedTable(OverlayShardStore(self))
+
+
+class OverlayShardStore(ShardStore):
+    """Read-only :class:`ShardStore` view of a :class:`ShardOverlay`.
+
+    Shard layout: the base's shards in order (fully passed through when
+    untouched, patched otherwise), plus one tail shard when rows were
+    appended.  Fully-deleted base shards stay in the layout as zero-row
+    shards so shard indexes remain aligned with the base.
+    """
+
+    def __init__(self, overlay: ShardOverlay):
+        super().__init__()
+        self._overlay = overlay
+        self._schema = overlay.schema
+        base = overlay.base
+        self._base = base
+        self._row_counts: List[int] = [
+            count - overlay._shard_delete_count(i)
+            for i, count in enumerate(base.shard_row_counts())
+        ]
+        self._has_tail = overlay._tail_rows > 0
+        if self._has_tail:
+            self._row_counts.append(overlay._tail_rows)
+        #: patched shards already built, by shard index
+        self._patched: Dict[int, Table] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._row_counts)
+
+    def append(self, shard: Table) -> None:
+        raise TableError("an overlay shard store is read-only; edit the overlay")
+
+    def shard_row_counts(self) -> List[int]:
+        return list(self._row_counts)
+
+    def _is_passthrough(self, index: int) -> bool:
+        overlay = self._overlay
+        return not overlay._edits[index] and overlay._shard_delete_count(index) == 0
+
+    def get(self, index: int) -> Table:
+        if self._has_tail and index == len(self._row_counts) - 1:
+            tail = self._patched.get(index)
+            if tail is None:
+                tail = Table(
+                    self._schema,
+                    [list(col) for col in self._overlay._tail_columns],
+                )
+                self._patched[index] = tail
+            return tail
+        if self._is_passthrough(index):
+            return self._base.store.get(index)
+        patched = self._patched.get(index)
+        if patched is None:
+            patched = self._patch_shard(index)
+            self._patched[index] = patched
+        return patched
+
+    def _patch_shard(self, index: int) -> Table:
+        overlay = self._overlay
+        base_shard = self._base.store.get(index)
+        offset = self._base.offset_of(index)
+        edits = overlay._edits[index]
+        start = bisect_left(overlay._deleted, offset)
+        stop = bisect_left(
+            overlay._deleted, offset + base_shard.n_rows, lo=start
+        )
+        deleted = {g - offset for g in overlay._deleted[start:stop]}
+        names = self._schema.names()
+        columns: List[List[str]] = []
+        for j, name in enumerate(names):
+            source = base_shard.column_ref(name)
+            columns.append(
+                [
+                    edits.get((local, j), value)
+                    for local, value in enumerate(source)
+                    if local not in deleted
+                ]
+            )
+        return Table(self._schema, columns)
+
+    def versions(self) -> Tuple[int, ...]:
+        base_versions = self._base.versions()
+        versions: List[int] = []
+        overlay = self._overlay
+        for index in range(len(base_versions)):
+            if self._is_passthrough(index):
+                versions.append(base_versions[index])
+            else:
+                versions.append(
+                    hash(
+                        (
+                            base_versions[index],
+                            overlay._edit_counts[index],
+                            overlay._shard_delete_count(index),
+                        )
+                    )
+                )
+        if self._has_tail:
+            versions.append(hash(("tail", overlay._tail_rows, overlay.version)))
+        return tuple(versions)
+
+    def close(self) -> None:
+        # The base store's lifetime belongs to whoever created it (the
+        # DataSource); a view never closes it.
+        self._patched.clear()

@@ -11,12 +11,14 @@ by plain concatenation.
 Shard bytes live behind a pluggable
 :class:`~repro.sharding.store.ShardStore`: the default in-memory store
 keeps live ``Table`` objects, the spill-to-disk store re-parses shards
-from CSV on access with bounded resident memory.  A plain shard list is
-wrapped into an in-memory store transparently.
+from CSV on access with bounded resident memory, and the object store
+reads checksummed shard objects through an object client.  A plain
+shard list is wrapped into an in-memory store transparently.
 
 Shards are immutable by contract: the sharded engines cache merged
 statistics keyed by the shards' mutation versions, and the interactive
-edit loop stays on the monolithic table (see ``AnmatSession``).  A shard
+edit loop happens in a :class:`~repro.sharding.overlay.ShardOverlay`
+delta layer over the untouched store (see ``AnmatSession``).  A shard
 mutated behind our back is detected via :meth:`versions` and merged
 caches are invalidated, but no partial update is attempted.
 """
@@ -218,3 +220,25 @@ class ShardedTable:
         artifact = build()
         self._merged_cache[key] = (versions, artifact)
         return artifact
+
+    def drop_merged_artifacts(self, *prefixes: str) -> int:
+        """Evict cached merged artifacts by key prefix (all of them when
+        no prefix is given) and return how many were dropped.
+
+        Purely a memory release — artifacts are rebuilt on demand.  The
+        out-of-core session path drops the O(n) discovery merges
+        (concatenated columns, encodings, triples) once mining finishes
+        so they are not carried through detection and the edit loop.
+        """
+        if not prefixes:
+            dropped = len(self._merged_cache)
+            self._merged_cache.clear()
+            return dropped
+        doomed = [
+            key
+            for key in self._merged_cache
+            if isinstance(key, tuple) and key and key[0] in prefixes
+        ]
+        for key in doomed:
+            del self._merged_cache[key]
+        return len(doomed)

@@ -19,9 +19,12 @@ they extract small, *mergeable* statistics per shard and reduce them:
   them at, so the merged tokenization is byte-for-byte the monolithic
   single-pass extraction.
 
-Both statistics are built from plain lists/dicts of strings and ints, so
+Both statistics are built from dicts of strings plus compact
+``array('i')`` row-id sequences (see :mod:`repro.dataset.rowids`), so
 they cross process boundaries cheaply when the shard fan-out runs on
-``concurrent.futures`` workers.
+``concurrent.futures`` workers — and stay small enough to hold for a
+whole out-of-core run without approaching the materialized table's
+footprint.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
+from repro.dataset.rowids import RowIds, row_ids
 from repro.detection.index import narrow_candidates_by_prefix
 from repro.discovery.inverted_index import ColumnTokenization
 from repro.kernels.match import batch_matching_values
@@ -37,8 +41,8 @@ from repro.patterns.pattern import Pattern
 from repro.perf.memo import MatchMemo
 from repro.pfd.tableau import Wildcard
 
-#: LHS value → RHS value → ascending global row ids.
-PairGroups = Dict[str, Dict[str, List[int]]]
+#: LHS value → RHS value → ascending global row ids (``array('i')``).
+PairGroups = Dict[str, Dict[str, RowIds]]
 
 
 def extract_pair_groups(
@@ -55,7 +59,7 @@ def extract_pair_groups(
             by_rhs = groups[lhs_value] = {}
         rows = by_rhs.get(rhs_value)
         if rows is None:
-            by_rhs[rhs_value] = [offset + local_row]
+            by_rhs[rhs_value] = row_ids((offset + local_row,))
         else:
             rows.append(offset + local_row)
     return groups
@@ -71,13 +75,13 @@ def merge_pair_groups(shard_groups: Sequence[PairGroups]) -> "MergedPairGroups":
             merged_rhs = merged.get(lhs_value)
             if merged_rhs is None:
                 merged[lhs_value] = {
-                    rhs_value: list(rows) for rhs_value, rows in by_rhs.items()
+                    rhs_value: row_ids(rows) for rhs_value, rows in by_rhs.items()
                 }
                 continue
             for rhs_value, rows in by_rhs.items():
                 existing = merged_rhs.get(rhs_value)
                 if existing is None:
-                    merged_rhs[rhs_value] = list(rows)
+                    merged_rhs[rhs_value] = row_ids(rows)
                 else:
                     existing.extend(rows)
     return MergedPairGroups(merged)

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple, Union
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.errors import TableError
+from repro.perf.interning import InternPool
 
 
 class ShardStore(ABC):
@@ -154,6 +155,10 @@ class SpillToDiskShardStore(ShardStore):
         #: per-shard (path, row count, version-at-append)
         self._meta: List[Tuple[Path, int, int]] = []
         self._loaded: "OrderedDict[int, Table]" = OrderedDict()
+        #: re-parsed cell strings are interned per store, so the resident
+        #: string footprint across shard loads is the *distinct* value
+        #: set, not one fresh copy per load
+        self._interned = InternPool()
 
     @property
     def n_shards(self) -> int:
@@ -179,6 +184,7 @@ class SpillToDiskShardStore(ShardStore):
         path, n_rows, _version = self._meta[index]
         width = len(self.schema)
         columns: List[List[str]] = [[] for _ in range(width)]
+        intern = self._interned.intern
         with path.open("r", newline="", encoding="utf-8") as handle:
             reader = csv.reader(handle)
             for row in reader:
@@ -190,7 +196,7 @@ class SpillToDiskShardStore(ShardStore):
                         f"{len(row)} fields, expected {width} (corrupted?)"
                     )
                 for column, value in zip(columns, row):
-                    column.append(value)
+                    column.append(intern(value))
         shard = Table(self.schema, columns)
         if shard.n_rows != n_rows:
             raise TableError(
@@ -209,6 +215,31 @@ class SpillToDiskShardStore(ShardStore):
 
     def close(self) -> None:
         self._loaded.clear()
+        self._interned.clear()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None
+
+
+#: CLI/session-facing names for the shipped store backends
+STORE_KINDS = ("memory", "spill", "object")
+
+
+def make_shard_store(kind: str, directory: Union[str, Path, None] = None) -> ShardStore:
+    """Build a shard store from its CLI/session-facing name.
+
+    ``directory`` is the spill/object root; ``None`` means a private
+    temporary directory removed on ``close()``.
+    """
+    if kind == "memory":
+        return InMemoryShardStore()
+    if kind == "spill":
+        return SpillToDiskShardStore(directory)
+    if kind == "object":
+        # imported lazily: object_store builds on this module
+        from repro.sharding.object_store import ObjectShardStore
+
+        return ObjectShardStore(root=directory)
+    raise TableError(
+        f"unknown shard store kind {kind!r} (expected one of {', '.join(STORE_KINDS)})"
+    )

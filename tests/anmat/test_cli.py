@@ -184,6 +184,88 @@ class TestShardRows:
         assert strip_timing(capsys.readouterr().out) == strip_timing(monolithic)
 
 
+class TestStoreFlags:
+    """--store / --spill-dir: out-of-core uploads from the CLI."""
+
+    def test_flag_parses_on_all_upload_commands(self):
+        for command in ("profile", "discover", "detect"):
+            args = build_parser().parse_args([command, "--store", "spill"])
+            assert args.store == "spill"
+            args = build_parser().parse_args(
+                [command, "--store", "object", "--spill-dir", "/tmp/x"]
+            )
+            assert args.spill_dir == "/tmp/x"
+        with pytest.raises(SystemExit):  # argparse usage error, exit 2
+            build_parser().parse_args(["detect", "--store", "cloud"])
+
+    def test_store_defaults_to_memory(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.store == "memory"
+        assert args.spill_dir is None
+
+    def test_spill_store_reports_same_violations_as_memory(self, tmp_path, capsys):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        code = main(["detect", "--csv", str(path), "--shard-rows", "32"])
+        assert code == EXIT_VIOLATIONS_FOUND
+        memory = capsys.readouterr().out
+        for store in ("spill", "object"):
+            code = main(
+                [
+                    "detect",
+                    "--csv", str(path),
+                    "--shard-rows", "32",
+                    "--store", store,
+                    "--spill-dir", str(tmp_path / store),
+                ]
+            )
+            assert code == EXIT_VIOLATIONS_FOUND
+            assert capsys.readouterr().out == memory
+
+    def test_non_memory_store_implies_sharding(self, capsys):
+        # without --shard-rows, --store spill still runs sharded (an
+        # out-of-core store under a monolithic run would be pointless)
+        code = main(
+            [
+                "detect",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--store", "spill",
+                "--explain-plan",
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        out = capsys.readouterr().out
+        assert "backend=sharded" in out
+        assert "store=spill" in out
+        assert "materialization=never" in out
+
+    def test_builtin_dataset_reshards_into_the_store(self, tmp_path, capsys):
+        spill_dir = tmp_path / "spill"
+        code = main(
+            [
+                "discover",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--store", "spill",
+                "--shard-rows", "4",
+                "--spill-dir", str(spill_dir),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # the run streamed through real spill files in the named dir
+        assert sorted(spill_dir.glob("shard_*.csv"))
+
+    def test_spill_store_profile_command(self, capsys):
+        assert main(["profile", "--dataset", "paper_d2_zip", "--store", "spill"]) == 0
+        out = capsys.readouterr().out
+        assert "pattern::position, frequency" in out
+
+
 class TestExecutorFlags:
     """--executor / --n-workers / --explain-plan on discover and detect."""
 

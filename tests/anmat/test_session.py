@@ -380,3 +380,170 @@ class TestShardedSession:
         report = session.run_detection()
         fresh = ErrorDetector(session.table).detect_all(session.confirmed_pfds())
         assert report.canonical_violations() == fresh.canonical_violations()
+
+
+class TestNeverMaterializedSession:
+    """A sharded upload must run the whole workflow — profile, discover,
+    detect, edit loop, re-check — without ever stitching a monolithic
+    table."""
+
+    def _monolithic(self, dataset):
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(dataset.table.copy())
+        session.run_profiling()
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        return session
+
+    @pytest.fixture
+    def forbid_materialization(self, monkeypatch):
+        from repro.sharding import ShardedTable, ShardOverlay
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - only on regression
+            raise AssertionError("monolithic materialization on the session path")
+
+        monkeypatch.setattr(ShardedTable, "to_table", boom)
+        monkeypatch.setattr(ShardOverlay, "materialize", boom)
+
+    def test_full_workflow_with_spill_store(
+        self, tmp_path, small_zip_city_state, forbid_materialization
+    ):
+        from repro.sharding import ShardedTable, ShardOverlay, SpillToDiskShardStore
+
+        mono = self._monolithic(small_zip_city_state)
+        store = SpillToDiskShardStore(tmp_path / "spill")
+        sharded = ShardedTable.from_table(
+            small_zip_city_state.table, 40, store=store
+        )
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(sharded)
+        assert isinstance(session.table, ShardOverlay)
+        assert session.plan_discovery().materialization == "never"
+        # profile / discover / detect all equal the monolithic run
+        assert session.run_profiling() == mono.profile
+        session.run_discovery()
+        assert [p.describe() for p in session.discovered_pfds()] == [
+            p.describe() for p in mono.discovered_pfds()
+        ]
+        session.confirm_all()
+        report = session.run_detection()
+        assert report.canonical_violations() == mono.violations.canonical_violations()
+        # the edit loop lands in the overlay and the re-check matches a
+        # fresh detection over the edited view
+        suggestions = session.repair_suggestions()
+        if not suggestions:
+            pytest.skip("no repair suggestions on this seed")
+        session.apply_repair(suggestions[0])
+        assert session.state is SessionState.EDITING
+        recheck = session.run_detection()
+        fresh = ErrorDetector(session.table).detect_all(session.confirmed_pfds())
+        assert recheck.canonical_violations() == fresh.canonical_violations()
+        session.close()
+
+    def test_detection_plan_records_store_and_materialization(
+        self, small_zip_city_state
+    ):
+        from repro.sharding import ShardedTable
+
+        session = AnmatSession(
+            dataset_name="planned",
+            config=DiscoveryConfig(min_coverage=0.5, store="spill"),
+        )
+        session.load_table(ShardedTable.from_table(small_zip_city_state.table, 50))
+        plan = session.plan_detection()
+        assert plan.materialization == "never"
+        assert plan.store == "spill"
+        assert "store=spill" in plan.describe()
+        assert any("materialization=never" in d for d in plan.decisions)
+        session.close()
+
+    def test_forced_serial_backend_materializes_eagerly(self, small_zip_city_state):
+        from repro.sharding import ShardedTable
+
+        mono = self._monolithic(small_zip_city_state)
+        session = AnmatSession(
+            dataset_name="d", config=DiscoveryConfig(min_coverage=0.5)
+        )
+        session.load_table(ShardedTable.from_table(small_zip_city_state.table, 50))
+        plan = session.plan_discovery(executor="serial")
+        assert plan.materialization == "eager"
+        session.run_discovery(executor="serial")
+        assert [p.describe() for p in session.discovered_pfds()] == [
+            p.describe() for p in mono.discovered_pfds()
+        ]
+        session.close()
+
+
+class TestSessionLifecycle:
+    def test_close_releases_the_upload_store(self, tmp_path, small_zip_city_state):
+        from repro.dataset.csvio import write_csv
+        from repro.sharding import SpillToDiskShardStore
+
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        session = AnmatSession(dataset_name="closing")
+        store = SpillToDiskShardStore()  # private tempdir
+        session.upload_csv(path, shard_rows=40, store=store)
+        directory = store.directory
+        assert directory.exists()
+        session.close()
+        assert not directory.exists()
+        assert session.table is None
+
+    def test_context_manager_closes(self, tmp_path, small_zip_city_state):
+        from repro.dataset.csvio import write_csv
+        from repro.sharding import SpillToDiskShardStore
+
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        store = SpillToDiskShardStore()
+        with AnmatSession(dataset_name="ctx") as session:
+            session.upload_csv(path, shard_rows=40, store=store)
+            directory = store.directory
+            assert directory.exists()
+        assert not directory.exists()
+
+    def test_load_table_closes_the_replaced_store(self, small_zip_city_state):
+        from repro.sharding import ShardedTable, SpillToDiskShardStore
+
+        store = SpillToDiskShardStore()
+        sharded = ShardedTable.from_table(small_zip_city_state.table, 40, store=store)
+        session = AnmatSession(dataset_name="replace")
+        session.load_table(sharded)
+        directory = store.directory
+        assert directory.exists()
+        session.load_table(small_zip_city_state.table.copy())
+        assert not directory.exists()
+        # the session keeps working on the new table
+        session.run_discovery()
+        session.close()
+
+    def test_upload_store_comes_from_config(self, tmp_path, small_zip_city_state):
+        from repro.dataset.csvio import write_csv
+        from repro.sharding import SpillToDiskShardStore
+
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        session = AnmatSession(
+            dataset_name="cfg-store",
+            config=DiscoveryConfig(
+                shard_rows=40, store="spill", spill_dir=str(tmp_path / "spill")
+            ),
+        )
+        session.upload_csv(path)
+        source_store = session._source._upload_sharded.store
+        assert isinstance(source_store, SpillToDiskShardStore)
+        assert source_store.directory == tmp_path / "spill"
+        session.close()
+
+    def test_close_is_idempotent_and_resets_state(self):
+        session = AnmatSession(dataset_name="idempotent")
+        session.close()
+        session.close()
+        with pytest.raises(ProjectError):
+            session.run_profiling()

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.dataset.profiling import profile_column, profile_table
+from repro.dataset.profiling import (
+    ColumnProfileBuilder,
+    profile_column,
+    profile_sharded,
+    profile_table,
+)
 from repro.dataset.schema import DataType
 from repro.dataset.table import Table
 
@@ -100,3 +105,49 @@ class TestProfileTable:
         profile = profile_table(mixed_table)
         assert {c.name for c in profile} == set(mixed_table.column_names())
         assert profile["city"].name == "city"
+
+
+class TestStreamingProfile:
+    """The shard-major streaming profiler must equal the monolithic one
+    field for field — it is the same computation fed counts instead of
+    value lists."""
+
+    def awkward_table(self):
+        return Table.from_rows(
+            ["zip", "city", "blank", "padded", "num"],
+            [
+                ["90001", "Los Angeles", "", "  x  ", "1"],
+                ["90002", "Los Angeles", "", "\t", "2"],
+                ["", "New York", "", "x", "3"],
+                ["10001", "New York", "", "", "-4"],
+                ["10001", "Boston", "", "  x  ", "5.5"],
+            ],
+        )
+
+    @pytest.mark.parametrize("shard_rows", [1, 2, 5])
+    def test_identical_to_monolithic(self, shard_rows):
+        from repro.sharding import ShardedTable
+
+        table = self.awkward_table()
+        sharded = ShardedTable.from_table(table, shard_rows)
+        assert profile_sharded(sharded) == profile_table(table)
+
+    def test_identical_on_mixed_table(self, mixed_table):
+        from repro.sharding import ShardedTable
+
+        sharded = ShardedTable.from_table(mixed_table, 3)
+        assert profile_sharded(sharded) == profile_table(mixed_table)
+
+    def test_builder_incremental_equals_one_shot(self):
+        values = ["90001", "90002", "", "abc", "90001"]
+        builder = ColumnProfileBuilder("zip")
+        for value in values:
+            builder.add([value])
+        assert builder.finish() == profile_column("zip", values)
+
+    def test_zero_row_sharded_table(self):
+        from repro.sharding import ShardedTable
+
+        table = Table.empty(["a", "b"])
+        sharded = ShardedTable.from_table(table, 4)
+        assert profile_sharded(sharded) == profile_table(table)

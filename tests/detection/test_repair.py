@@ -39,8 +39,6 @@ class TestSuggestRepairs:
                 rule_index=0,
                 rule_text="x",
                 rows=(0,),
-                cells=((0, "x"),),
-                suspect_cell=(0, "x"),
                 observed_value="??",
                 expected_value=None,
             )
@@ -63,8 +61,6 @@ class TestSuggestRepairs:
                     rule_index=0,
                     rule_text="r",
                     rows=(0,),
-                    cells=((0, "zip"), (0, "city")),
-                    suspect_cell=(0, "city"),
                     observed_value="??",
                     expected_value=expected,
                 )
@@ -89,8 +85,6 @@ class TestSuggestRepairs:
                     rule_index=0,
                     rule_text="r",
                     rows=(0, 1),
-                    cells=((0, "city"), (1, "city")),
-                    suspect_cell=(1, "city"),
                     observed_value="??",
                     expected_value=expected,
                 )
@@ -112,8 +106,6 @@ class TestSuggestRepairs:
                     rule_index=0,
                     rule_text="r",
                     rows=(0, 1),
-                    cells=((0, "city"), (1, "city")),
-                    suspect_cell=(1, "city"),
                     observed_value="NY",
                     expected_value=expected,
                 )

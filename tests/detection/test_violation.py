@@ -12,8 +12,6 @@ def make_violation(row=0, rhs="city", pfd="psi1", observed="NY", expected="LA", 
         rule_index=rule,
         rule_text="zip=900\\D{2}, city=LA",
         rows=(row,),
-        cells=((row, "zip"), (row, rhs)),
-        suspect_cell=(row, rhs),
         observed_value=observed,
         expected_value=expected,
     )

@@ -24,7 +24,7 @@ class TestPrefixEntries:
         assert candidate.pattern_text == "900\\D{2}"
         assert candidate.support == 4
         assert candidate.agreement == 1.0
-        assert candidate.covered_tuple_ids == [0, 1, 2, 3]
+        assert list(candidate.covered_tuple_ids) == [0, 1, 2, 3]
 
     def test_rejects_low_support(self):
         config = DiscoveryConfig(min_support=5)
@@ -42,7 +42,7 @@ class TestPrefixEntries:
         candidate = decide_for(lhs, rhs, "prefix", "900", 0, config)
         assert candidate is not None
         assert candidate.agreement == pytest.approx(0.95)
-        assert candidate.violating_tuple_ids == [19]
+        assert list(candidate.violating_tuple_ids) == [19]
 
     def test_render_format(self):
         candidate = decide_for(self.LHS, self.RHS, "prefix", "900", 0)

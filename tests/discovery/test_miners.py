@@ -46,7 +46,7 @@ class TestConstantMinerOnZips:
         config = DiscoveryConfig(allowed_violation_ratio=0.15)
         rows = ConstantPfdMiner(config).mine(self.LHS, rhs, mode="prefix")
         la_rows = [r for r in rows if r.rhs_constant == "Los Angeles"]
-        assert la_rows and la_rows[0].violating_tuple_ids == [0]
+        assert la_rows and list(la_rows[0].violating_tuple_ids) == [0]
 
 
 class TestConstantMinerOnNames:

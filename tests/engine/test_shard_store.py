@@ -6,8 +6,13 @@ from repro.dataset import Table
 from repro.errors import TableError
 from repro.sharding import (
     InMemoryShardStore,
+    LocalObjectClient,
+    ObjectShardStore,
+    ObjectStoreError,
+    STORE_KINDS,
     ShardedTable,
     SpillToDiskShardStore,
+    make_shard_store,
 )
 
 
@@ -19,11 +24,13 @@ SHARD_A = [["10", "x"], ["20", "y"]]
 SHARD_B = [["30", "z"]]
 
 
-@pytest.fixture(params=["memory", "disk"])
+@pytest.fixture(params=["memory", "disk", "object"])
 def store(request, tmp_path):
     if request.param == "memory":
         return InMemoryShardStore()
-    return SpillToDiskShardStore(tmp_path / "spill")
+    if request.param == "disk":
+        return SpillToDiskShardStore(tmp_path / "spill")
+    return ObjectShardStore(root=tmp_path / "objects")
 
 
 class TestStoreContract:
@@ -112,6 +119,181 @@ class TestSpillToDisk:
     def test_bad_cache_size_rejected(self, tmp_path):
         with pytest.raises(TableError, match="cache_shards"):
             SpillToDiskShardStore(tmp_path, cache_shards=0)
+
+    def test_corrupted_spill_row_count_mismatch(self, tmp_path):
+        # the other corruption branch: well-formed CSV, wrong row count
+        store = SpillToDiskShardStore(tmp_path / "spill", cache_shards=1)
+        store.append(make_shard(SHARD_A))
+        path = tmp_path / "spill" / "shard_000000.csv"
+        path.write_text("10,x\n")
+        with pytest.raises(TableError, match="read back 1 rows, expected 2"):
+            store.get(0)
+
+    def test_lru_accounting_under_cross_shard_access(self, tmp_path):
+        # repeated alternating access across more shards than LRU slots:
+        # the resident set never exceeds cache_shards, reloads produce
+        # fresh-but-equal tables, and a cache hit refreshes recency
+        store = SpillToDiskShardStore(tmp_path / "spill", cache_shards=2)
+        shards = [make_shard([[str(10 * i), "v"]]) for i in range(4)]
+        for shard in shards:
+            store.append(shard)
+        for round_trip in range(3):
+            for index in (0, 1, 2, 3, 1, 0):
+                loaded = store.get(index)
+                assert loaded.column("code") == [str(10 * index)]
+                assert len(store._loaded) <= 2
+        # recency: touching 2 then 3 leaves exactly {2, 3} resident
+        store.get(2)
+        store.get(3)
+        assert sorted(store._loaded) == [2, 3]
+        # a hit moves the shard to most-recent, protecting it from the
+        # next eviction
+        second = store.get(2)
+        store.get(0)  # evicts 3, not the freshly touched 2
+        assert store.get(2) is second
+        assert sorted(store._loaded) == [0, 2]
+
+
+class FlakyClient(LocalObjectClient):
+    """A client whose first ``fail_reads`` get() calls raise."""
+
+    def __init__(self, root, fail_reads=0):
+        super().__init__(root)
+        self.fail_reads = fail_reads
+
+    def get(self, key):
+        if self.fail_reads > 0:
+            self.fail_reads -= 1
+            raise ObjectStoreError(f"transient outage reading {key!r}")
+        return super().get(key)
+
+
+class TestObjectStore:
+    def test_round_trips_awkward_values(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects")
+        awkward = [
+            ['has,comma', 'has "quote"'],
+            ["multi\nline", ""],
+            ["  padded  ", "naïve·unicode"],
+        ]
+        store.append(make_shard(awkward))
+        assert [list(row) for row in store.get(0).iter_rows()] == awkward
+
+    def test_objects_live_under_prefix(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects", prefix="ds1")
+        store.append(make_shard(SHARD_A))
+        store.append(make_shard(SHARD_B))
+        assert store.client.list("ds1/") == [
+            "ds1/shard_000000.csv",
+            "ds1/shard_000001.csv",
+        ]
+
+    def test_transient_read_failure_is_retried(self, tmp_path):
+        client = FlakyClient(tmp_path / "objects", fail_reads=0)
+        store = ObjectShardStore(client=client)
+        store.append(make_shard(SHARD_A))
+        client.fail_reads = 2  # fewer than max_read_attempts=3
+        assert store.get(0).column("code") == ["10", "20"]
+        assert store.retried_reads == 2
+
+    def test_persistent_read_failure_surfaces(self, tmp_path):
+        client = FlakyClient(tmp_path / "objects", fail_reads=99)
+        store = ObjectShardStore(client=client, max_read_attempts=3)
+        store.append(make_shard(SHARD_A))
+        with pytest.raises(TableError, match="unreadable after 3 attempts"):
+            store.get(0)
+        assert store.retried_reads == 2
+
+    def test_checksum_mismatch_rejected(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects")
+        store.append(make_shard(SHARD_A))
+        # flip bytes behind the store's back: same shape, wrong content
+        store.client.put("shards/shard_000000.csv", b"99,x\r\n20,y\r\n")
+        with pytest.raises(TableError, match="failed its checksum"):
+            store.get(0)
+
+    def test_deleted_object_surfaces_client_error(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects")
+        store.append(make_shard(SHARD_A))
+        store.client.delete("shards/shard_000000.csv")
+        with pytest.raises(TableError, match="could not be read"):
+            store.get(0)
+
+    def test_corrupted_object_ragged_line(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects")
+        store.append(make_shard(SHARD_A))
+        data = b"10,x\r\n20,y,EXTRA\r\n"
+        store.client.put("shards/shard_000000.csv", data)
+        store._meta[0] = store._meta[0][:3] + (
+            __import__("hashlib").sha256(data).hexdigest(),
+        )
+        with pytest.raises(TableError, match="line 2 has 3 fields"):
+            store.get(0)
+
+    def test_corrupted_object_row_count_mismatch(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects")
+        store.append(make_shard(SHARD_A))
+        data = b"10,x\r\n"
+        store.client.put("shards/shard_000000.csv", data)
+        store._meta[0] = store._meta[0][:3] + (
+            __import__("hashlib").sha256(data).hexdigest(),
+        )
+        with pytest.raises(TableError, match="read back 1 rows, expected 2"):
+            store.get(0)
+
+    def test_lru_keeps_memory_bounded(self, tmp_path):
+        store = ObjectShardStore(root=tmp_path / "objects", cache_shards=1)
+        store.append(make_shard(SHARD_A))
+        store.append(make_shard(SHARD_B))
+        first = store.get(0)
+        assert store.get(0) is first  # cached
+        store.get(1)  # evicts shard 0 from the one-slot LRU
+        assert store.get(0) is not first
+        assert store.get(0).column("code") == first.column("code")
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        client = LocalObjectClient(tmp_path / "objects")
+        for key in ("", "/abs", "../escape", "a/../b", ".hidden"):
+            with pytest.raises(ObjectStoreError, match="invalid object key"):
+                client.get(key)
+
+    def test_owned_tempdir_removed_on_close(self):
+        store = ObjectShardStore()
+        store.append(make_shard(SHARD_A))
+        root = store.client.root
+        assert root.exists()
+        store.close()
+        assert not root.exists()
+
+    def test_shared_client_survives_close(self, tmp_path):
+        client = LocalObjectClient(tmp_path / "objects")
+        store = ObjectShardStore(client=client)
+        store.append(make_shard(SHARD_A))
+        store.close()
+        # the caller owns the client; its objects are untouched
+        assert client.list() == ["shards/shard_000000.csv"]
+
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(TableError, match="cache_shards"):
+            ObjectShardStore(root=tmp_path, cache_shards=0)
+        with pytest.raises(TableError, match="max_read_attempts"):
+            ObjectShardStore(root=tmp_path, max_read_attempts=0)
+
+
+class TestMakeShardStore:
+    def test_kinds_cover_the_factory(self, tmp_path):
+        assert STORE_KINDS == ("memory", "spill", "object")
+        assert isinstance(make_shard_store("memory"), InMemoryShardStore)
+        spill = make_shard_store("spill", tmp_path / "spill")
+        assert isinstance(spill, SpillToDiskShardStore)
+        assert spill.directory == tmp_path / "spill"
+        obj = make_shard_store("object", tmp_path / "objects")
+        assert isinstance(obj, ObjectShardStore)
+        assert obj.client.root == tmp_path / "objects"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TableError, match="unknown shard store kind"):
+            make_shard_store("cloud")
 
 
 class TestStreamingIngest:

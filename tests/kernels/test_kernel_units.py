@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.dataset.rowids import row_ids
 from repro.discovery.inverted_index import ColumnTokenization
 from repro.kernels.encoder import (
     ALL_CLASS_BITS,
@@ -152,7 +153,8 @@ class TestPairGroupsKernel:
         lhs = ["a", "a", "b"]
         rhs = ["x", "x", "y"]
         kernel = pair_groups_kernel(lhs, rhs, 100)
-        assert kernel == {"a": {"x": [100, 101]}, "b": {"y": [102]}}
+        assert kernel == {"a": {"x": row_ids([100, 101])}, "b": {"y": row_ids([102])}}
+        # rows are compact arrays but still iterate as plain Python ints
         assert all(
             isinstance(row, int)
             for by_rhs in kernel.values()
@@ -162,7 +164,7 @@ class TestPairGroupsKernel:
 
     def test_empty_and_single_row(self):
         assert pair_groups_kernel([], [], 0) == {}
-        assert pair_groups_kernel(["a"], ["x"], 5) == {"a": {"x": [5]}}
+        assert pair_groups_kernel(["a"], ["x"], 5) == {"a": {"x": row_ids([5])}}
 
 
 class TestBatchTokenize:

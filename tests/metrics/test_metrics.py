@@ -59,8 +59,6 @@ class TestDetectionEvaluation:
                 rule_index=0,
                 rule_text="r",
                 rows=(4,),
-                cells=((4, "zip"), (4, "city")),
-                suspect_cell=(4, "city"),
                 observed_value="NY",
                 expected_value="LA",
             )

@@ -11,15 +11,27 @@ against every monolithic strategy.  Each case is fully determined by the
 
 from __future__ import annotations
 
+import gc
+import tracemalloc
+
 import pytest
 
+from repro.anmat.session import AnmatSession
 from repro.datagen import build_dataset
 from repro.dataset import Table
+from repro.dataset.csvio import read_csv, read_csv_sharded, write_csv
+from repro.perf import clear_caches
 from repro.pfd import PFD, WILDCARD
 from repro.datagen.corruption import CorruptionSpec, ErrorInjector
 from repro.detection import DetectionStrategy, ErrorDetector
 from repro.discovery import DiscoveryConfig, PfdDiscoverer
-from repro.sharding import ShardedDetector, ShardedDiscoverer, ShardedTable
+from repro.sharding import (
+    ShardedDetector,
+    ShardedDiscoverer,
+    ShardedTable,
+    SpillToDiskShardStore,
+    make_shard_store,
+)
 
 #: (generator name, rows, extra corruption specs) — small enough that the
 #: bruteforce strategy stays cheap, varied enough to cover prefix- and
@@ -130,3 +142,110 @@ class TestDifferential:
             .canonical_violations()
         )
         assert parallel == serial
+
+
+# -- bounded-memory differential: the out-of-core session ----------------------
+#
+# The acceptance bar for never-materialized sessions: a 256k-row upload
+# through a disk-backed store must run the whole profile → discover →
+# detect workflow with a tracemalloc peak below 40% of what merely
+# *loading* the table into memory costs — while producing exactly the
+# monolithic rule set and canonical violations, on every store backend.
+
+OOC_ROWS = 256_000
+OOC_SHARD_ROWS = 16_000
+OOC_SEED = 23
+#: the spill peak must stay below this fraction of the materialized
+#: table's tracemalloc footprint
+OOC_PEAK_RATIO_CEILING = 0.40
+
+
+@pytest.fixture(scope="module")
+def ooc_csv(tmp_path_factory):
+    """The 256k-row dirty CSV, generated once per module."""
+    path = tmp_path_factory.mktemp("ooc") / "zip_city_state_256k.csv"
+    dataset = build_dataset("zip_city_state", n_rows=OOC_ROWS, seed=OOC_SEED)
+    write_csv(dataset.table, path)
+    del dataset
+    gc.collect()
+    return path
+
+
+def _run_workflow(table):
+    """profile → discover → confirm → detect through the session API;
+    returns the rule descriptions and canonical violations."""
+    session = AnmatSession(dataset_name="ooc-differential")
+    session.load_table(table)
+    session.set_parameters(min_coverage=0.5)
+    session.run_profiling()
+    result = session.run_discovery()
+    session.confirm_all()
+    report = session.run_detection()
+    rules = [pfd.describe() for pfd in result.pfds]
+    canonical = report.canonical_violations()
+    session.close()
+    return rules, canonical
+
+
+@pytest.fixture(scope="module")
+def ooc_monolithic(ooc_csv):
+    """Rules and canonical violations of the fully materialized run."""
+    rules, canonical = _run_workflow(read_csv(ooc_csv))
+    clear_caches()
+    gc.collect()
+    return rules, canonical
+
+
+class TestOutOfCoreBoundedMemory:
+    def test_spill_run_bounded_and_identical(
+        self, ooc_csv, ooc_monolithic, monkeypatch
+    ):
+        """The spill-store session must never materialize the table and
+        must peak below 40% of the materialized footprint."""
+        # the acceptance criterion verbatim: no `to_table()` anywhere on
+        # the session path
+        def _forbidden(self):
+            raise AssertionError("to_table() called on the out-of-core session path")
+
+        monkeypatch.setattr(ShardedTable, "to_table", _forbidden)
+
+        clear_caches()
+        gc.collect()
+        tracemalloc.start()
+        table = read_csv(ooc_csv)
+        table_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        del table
+        clear_caches()
+        gc.collect()
+
+        tracemalloc.start()
+        store = SpillToDiskShardStore(cache_shards=2)
+        sharded = read_csv_sharded(ooc_csv, OOC_SHARD_ROWS, store=store)
+        rules, canonical = _run_workflow(sharded)
+        spill_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+        mono_rules, mono_canonical = ooc_monolithic
+        assert rules == mono_rules
+        assert canonical == mono_canonical
+        ratio = spill_peak / table_peak
+        assert ratio < OOC_PEAK_RATIO_CEILING, (
+            f"spill-store session peaked at {spill_peak / 1e6:.1f}MB — "
+            f"{ratio:.2f}x the {table_peak / 1e6:.1f}MB materialized footprint "
+            f"(ceiling {OOC_PEAK_RATIO_CEILING})"
+        )
+
+    @pytest.mark.parametrize("kind", ["memory", "object"])
+    def test_backend_identical_to_monolithic(self, kind, ooc_csv, ooc_monolithic):
+        """The remaining store backends produce the same rules and
+        canonical violations as the monolithic run (the spill backend is
+        covered by the traced test above)."""
+        store = make_shard_store(kind)
+        sharded = read_csv_sharded(ooc_csv, OOC_SHARD_ROWS, store=store)
+        rules, canonical = _run_workflow(sharded)
+        mono_rules, mono_canonical = ooc_monolithic
+        assert rules == mono_rules
+        assert canonical == mono_canonical
+        clear_caches()
+        gc.collect()

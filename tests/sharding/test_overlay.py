@@ -1,0 +1,244 @@
+"""Unit tests for the shard-overlay edit loop.
+
+The load-bearing property is *protocol parity*: a :class:`ShardOverlay`
+over a sharded base must behave exactly like the monolithic
+:class:`Table` it replaces — same reads, same mutation semantics, same
+version counter and delta log, same error messages — while the base
+store is never written.
+"""
+
+import pytest
+
+from repro.dataset import Table
+from repro.dataset.table import CellEdit, MAX_DELTA_LOG, RowAppend, RowDelete
+from repro.errors import TableError
+from repro.sharding import InMemoryShardStore, ShardedTable, ShardOverlay
+from repro.sharding.overlay import OverlayShardStore
+
+
+def make_base(n_rows=10, shard_rows=3):
+    table = Table.from_rows(
+        ["code", "label"],
+        [[f"{100 + i}", f"v{i}"] for i in range(n_rows)],
+    )
+    return table, ShardedTable.from_table(table, shard_rows)
+
+
+@pytest.fixture
+def pair():
+    """(mirror Table, overlay over an equal sharded base)."""
+    table, sharded = make_base()
+    return table.copy(), ShardOverlay(sharded)
+
+
+def assert_same_state(table, overlay):
+    assert overlay.n_rows == table.n_rows
+    assert overlay.column_names() == table.column_names()
+    assert list(overlay.iter_rows()) == list(table.iter_rows())
+    for name in table.column_names():
+        assert overlay.column(name) == table.column(name)
+    for row in range(table.n_rows):
+        assert overlay.row(row) == table.row(row)
+        assert overlay.row_dict(row) == table.row_dict(row)
+
+
+class TestReads:
+    def test_fresh_overlay_mirrors_base(self, pair):
+        table, overlay = pair
+        assert_same_state(table, overlay)
+        assert overlay.version == 0
+        assert not overlay.is_touched
+        assert len(overlay) == table.n_rows
+
+    def test_cell_addressing_across_shards(self, pair):
+        table, overlay = pair
+        for row in range(table.n_rows):
+            for name in table.column_names():
+                assert overlay.cell(row, name) == table.cell(row, name)
+
+    def test_out_of_range_reads_match_table_errors(self, pair):
+        table, overlay = pair
+        for bad in (-1, table.n_rows):
+            with pytest.raises(TableError) as table_err:
+                table.row(bad)
+            with pytest.raises(TableError) as overlay_err:
+                overlay.row(bad)
+            assert str(overlay_err.value) == str(table_err.value)
+
+
+class TestMutationParity:
+    def test_mixed_edit_session_stays_equal(self, pair):
+        table, overlay = pair
+        for target in (table, overlay):
+            target.set_cell(0, "label", "edited")
+            target.set_cell(7, "code", "999")
+            target.append_row(["200", "tail"])
+            target.delete_row(2)
+            target.set_cell(2, "label", "post-shift")  # old row 3
+            target.delete_row(target.n_rows - 1)  # the appended tail row
+            target.append_row({"code": "201"})  # mapping: label defaults ""
+        assert_same_state(table, overlay)
+        assert overlay.version == table.version
+
+    def test_delete_shifts_rows_down(self, pair):
+        table, overlay = pair
+        for target in (table, overlay):
+            removed = target.delete_row(4)
+            assert removed == ("104", "v4")
+        assert_same_state(table, overlay)
+        # consecutive tombstones exercise the fixpoint row mapping
+        for target in (table, overlay):
+            target.delete_row(4)  # old row 5
+            target.delete_row(4)  # old row 6
+        assert_same_state(table, overlay)
+        assert overlay.row(4) == ("107", "v7")
+
+    def test_edit_then_delete_same_region(self, pair):
+        table, overlay = pair
+        for target in (table, overlay):
+            target.set_cell(5, "label", "X")
+            target.delete_row(5)
+        assert_same_state(table, overlay)
+
+    def test_noop_set_cell_skips_version_bump(self, pair):
+        table, overlay = pair
+        overlay.set_cell(3, "label", overlay.cell(3, "label"))
+        assert overlay.version == 0
+        assert overlay.deltas_since(0) == ()
+
+    def test_mutation_error_parity(self, pair):
+        table, overlay = pair
+        cases = [
+            lambda t: t.append_row("oops"),
+            lambda t: t.append_row(["only-one"]),
+            lambda t: t.append_row({"code": "1", "bogus": "2"}),
+            lambda t: t.set_cell(99, "code", "x"),
+            lambda t: t.delete_row(-1),
+        ]
+        for case in cases:
+            with pytest.raises(TableError) as table_err:
+                case(table)
+            with pytest.raises(TableError) as overlay_err:
+                case(overlay)
+            assert str(overlay_err.value) == str(table_err.value)
+
+    def test_base_store_never_written(self, pair):
+        table, overlay = pair
+        base_versions = overlay.base.versions()
+        before = list(overlay.base.store.get(0).iter_rows())
+        overlay.set_cell(0, "code", "changed")
+        overlay.delete_row(1)
+        overlay.append_row(["300", "new"])
+        assert overlay.base.versions() == base_versions
+        assert list(overlay.base.store.get(0).iter_rows()) == before
+
+
+class TestDeltaLog:
+    def test_delta_stream_matches_table(self, pair):
+        table, overlay = pair
+        for target in (table, overlay):
+            target.set_cell(1, "code", "777")
+            target.append_row(["888", "w"])
+            target.delete_row(0)
+        assert overlay.deltas_since(0) == table.deltas_since(0)
+        deltas = overlay.deltas_since(0)
+        assert isinstance(deltas[0], CellEdit)
+        assert isinstance(deltas[1], RowAppend)
+        assert isinstance(deltas[2], RowDelete)
+        assert overlay.deltas_since(2) == deltas[2:]
+        assert overlay.deltas_since(3) == ()
+        assert overlay.deltas_since(4) is None  # future version
+
+    def test_log_trims_like_table(self):
+        _table, sharded = make_base(n_rows=2, shard_rows=2)
+        overlay = ShardOverlay(sharded)
+        for i in range(MAX_DELTA_LOG + 10):
+            overlay.append_row([str(i), "v"])
+        assert overlay.deltas_since(0) is None  # trimmed past the floor
+        recent = overlay.deltas_since(overlay.version - 5)
+        assert len(recent) == 5
+
+
+class TestColumnCache:
+    def test_column_ref_cached_per_version(self, pair):
+        _table, overlay = pair
+        first = overlay.column_ref("code")
+        assert overlay.column_ref("code") is first
+        overlay.set_cell(0, "code", "000")
+        rebuilt = overlay.column_ref("code")
+        assert rebuilt is not first
+        assert rebuilt[0] == "000"
+
+    def test_materialize_builds_equal_table(self, pair):
+        table, overlay = pair
+        overlay.set_cell(2, "label", "M")
+        table.set_cell(2, "label", "M")
+        materialized = overlay.materialize()
+        assert isinstance(materialized, Table)
+        assert list(materialized.iter_rows()) == list(table.iter_rows())
+
+
+class TestAsSharded:
+    def test_untouched_overlay_returns_base_identity(self, pair):
+        _table, overlay = pair
+        assert overlay.as_sharded() is overlay.base
+
+    def test_untouched_shards_pass_through_by_identity(self, pair):
+        _table, overlay = pair
+        overlay.set_cell(0, "label", "patched")  # shard 0 only
+        sealed = overlay.as_sharded()
+        assert isinstance(sealed.store, OverlayShardStore)
+        base_store = overlay.base.store
+        assert sealed.store.get(1) is base_store.get(1)
+        assert sealed.store.get(2) is base_store.get(2)
+        assert sealed.store.get(0) is not base_store.get(0)
+        assert sealed.store.get(0).cell(0, "label") == "patched"
+
+    def test_sealed_view_equals_overlay(self, pair):
+        table, overlay = pair
+        for target in (table, overlay):
+            target.set_cell(1, "code", "111")
+            target.delete_row(6)
+            target.append_row(["400", "tail-a"])
+            target.append_row(["401", "tail-b"])
+        sealed = overlay.as_sharded()
+        assert sealed.n_rows == table.n_rows
+        assert [sealed.row(i) for i in range(sealed.n_rows)] == list(table.iter_rows())
+        for name in table.column_names():
+            assert sealed.column_concat(name) == table.column(name)
+        # tail rows land in one extra shard
+        assert sealed.n_shards == overlay.base.n_shards + 1
+        assert sealed.store.shard_row_counts()[-1] == 2
+
+    def test_fully_deleted_shard_stays_as_zero_row_shard(self):
+        _table, sharded = make_base(n_rows=6, shard_rows=2)
+        overlay = ShardOverlay(sharded)
+        overlay.delete_row(2)
+        overlay.delete_row(2)  # wipes base shard 1 entirely
+        sealed = overlay.as_sharded()
+        assert sealed.n_shards == 3  # alignment with the base kept
+        assert sealed.store.shard_row_counts() == [2, 0, 2]
+        assert sealed.column_concat("code") == ["100", "101", "104", "105"]
+
+    def test_versions_stable_and_edit_sensitive(self, pair):
+        _table, overlay = pair
+        overlay.set_cell(0, "code", "A")
+        sealed = overlay.as_sharded()
+        before = sealed.store.versions()
+        assert before == sealed.store.versions()  # stable while idle
+        # untouched shards keep their base staleness keys, so merged
+        # artifacts built over them are reused
+        assert before[1:] == overlay.base.versions()[1:]
+        assert before[0] != overlay.base.versions()[0]
+        # a further edit shifts the touched shard's key
+        overlay.set_cell(0, "code", "B")
+        after = sealed.store.versions()
+        assert after[0] != before[0]
+        assert after[1:] == before[1:]
+
+    def test_overlay_store_is_read_only(self, pair):
+        _table, overlay = pair
+        overlay.set_cell(0, "code", "A")
+        sealed = overlay.as_sharded()
+        with pytest.raises(TableError, match="read-only; edit the overlay"):
+            sealed.store.append(Table.from_rows(["code", "label"], [["1", "a"]]))

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.dataset import Table
+from repro.dataset.rowids import row_ids
 from repro.errors import TableError
 from repro.sharding import (
     ShardedTable,
@@ -85,17 +86,20 @@ class TestShardedTable:
 class TestPairGroups:
     def test_extract_globalizes_rows(self):
         groups = extract_pair_groups(["a", "b", "a"], ["x", "y", "z"], offset=10)
-        assert groups == {"a": {"x": [10], "z": [12]}, "b": {"y": [11]}}
+        assert groups == {
+            "a": {"x": row_ids([10]), "z": row_ids([12])},
+            "b": {"y": row_ids([11])},
+        }
 
     def test_merge_concatenates_ascending(self):
         first = extract_pair_groups(["a", "a"], ["x", "x"], offset=0)
         second = extract_pair_groups(["a", "c"], ["x", "y"], offset=2)
         merged = merge_pair_groups([first, second])
-        assert merged.groups["a"]["x"] == [0, 1, 2]
+        assert list(merged.groups["a"]["x"]) == [0, 1, 2]
         assert merged.sorted_values == ["a", "c"]
 
     def test_merge_does_not_alias_shard_lists(self):
         first = extract_pair_groups(["a"], ["x"], offset=0)
         merged = merge_pair_groups([first])
         merged.groups["a"]["x"].append(99)
-        assert first["a"]["x"] == [0]
+        assert list(first["a"]["x"]) == [0]

@@ -40,11 +40,24 @@ FLOORS: Dict[str, float] = {
     "src/repro/kernels": 0.85,
 }
 
-#: the test selection exercising those directories
+#: individual files gated on their own floor — the out-of-core session's
+#: edit-overlay and object-store backends are small enough that a
+#: directory average would hide either one losing its tests entirely
+FILE_FLOORS: Dict[str, float] = {
+    "src/repro/sharding/overlay.py": 0.85,
+    "src/repro/sharding/object_store.py": 0.85,
+}
+
+#: the test selection exercising those directories; the 256k
+#: bounded-memory tests are excluded — under the tracer they take tens
+#: of minutes and their tracemalloc assertions measure the tracer's own
+#: bookkeeping, while covering no lines the smaller differentials miss
 TEST_ARGS = [
     "-q",
     "-p",
     "no:cacheprovider",
+    "-k",
+    "not OutOfCoreBoundedMemory",
     "tests/detection",
     "tests/sharding",
     "tests/engine",
@@ -139,6 +152,19 @@ def main(argv: Iterable[str] = ()) -> int:
             for name, file_covered, file_total in rows:
                 file_ratio = file_covered / file_total if file_total else 1.0
                 print(f"    {name:44s} {file_covered:4d}/{file_total:4d} {file_ratio:6.1%}")
+        if ratio < floor:
+            failures.append(relative)
+    for relative, floor in FILE_FLOORS.items():
+        path = REPO_ROOT / relative
+        lines = executable_lines(path)
+        resolved = str(path.resolve())
+        covered = len(lines & {ln for fn, ln in executed if fn == resolved})
+        ratio = covered / len(lines) if lines else 1.0
+        verdict = "ok" if ratio >= floor else "BELOW FLOOR"
+        print(
+            f"  {relative:40s} {covered:5d}/{len(lines):5d} lines "
+            f"{ratio:6.1%}  (floor {floor:.0%})  {verdict}"
+        )
         if ratio < floor:
             failures.append(relative)
     if failures:
