@@ -1,6 +1,7 @@
 # Development entry points.  `make check` is the pre-merge gate: the
-# tier-1 test suite, the persisted-benchmark perf smoke gate, and the
-# detection/sharding line-coverage gate.
+# tier-1 test suite (which includes the rule-maintenance and sharding
+# differential gates), the persisted-benchmark perf smoke gate, and the
+# discovery/detection/sharding line-coverage gate.
 
 PYTHON ?= python
 
@@ -12,15 +13,17 @@ test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 # Validates the speedups recorded in BENCH_hotpath.json (runs no
-# benches); fails loudly when any has regressed below its floor (1.0x,
-# or 2.0x for the sharded-detection and engine-parity benches) or when
-# a required bench is missing.  Re-measure with `make bench` after
-# perf-relevant changes.
+# benches); fails loudly when any has regressed below its floor (1.0x;
+# 2.0x for the sharded-detection, engine-parity and sharded-discovery
+# benches; 3.0x for the rule-maintenance edit loop) or when a required
+# bench is missing.  Re-measure with `make bench` after perf-relevant
+# changes.
 perf-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --check
 
-# Line-coverage floor for the detection, sharding, and execution
-# engines, measured with the stdlib trace module (no dependency; ~45s).
+# Line-coverage floor for the discovery, detection, sharding, and
+# execution engines, measured with the stdlib trace module (no
+# dependency; ~45s).
 # Per-file table: `python tools/coverage_gate.py --report`.
 coverage:
 	PYTHONPATH=src $(PYTHON) tools/coverage_gate.py

@@ -75,6 +75,7 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         use_kernels=getattr(args, "use_kernels", "auto"),
         store=getattr(args, "store", "memory"),
         spill_dir=getattr(args, "spill_dir", None),
+        rule_maintenance=getattr(args, "rule_maintenance", "auto"),
     )
     session = AnmatSession(dataset_name=label, config=config)
     session.load_table(table)
@@ -171,6 +172,19 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "'on' requests them (degrading to the scalar path without "
             "numpy), 'off' forces the scalar path; results are identical "
             "either way"
+        ),
+    )
+    parser.add_argument(
+        "--rule-maintenance",
+        default="auto",
+        choices=("auto", "incremental", "full"),
+        help=(
+            "how a re-check after edits refreshes the rule set: 'auto' "
+            "maintains it incrementally when a sharded discovery baseline "
+            "exists (falling back to full re-discovery otherwise), "
+            "'incremental' requests maintenance (warning when it cannot "
+            "run), 'full' always re-discovers; maintained and fully "
+            "re-discovered rule sets are identical"
         ),
     )
 

@@ -24,6 +24,8 @@ or sharded — so the session itself carries no routing branches.
 from __future__ import annotations
 
 import enum
+import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -38,10 +40,13 @@ from repro.detection.repair import RepairSuggestion, suggest_repairs
 from repro.detection.violation import ViolationReport
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.discoverer import DiscoveryResult
+from repro.discovery.maintenance import RuleMaintainer
 from repro.engine import (
     DEFAULT_SHARD_ROWS,
     DataSource,
+    ExecutionBackend,
     ExecutionPlan,
+    PlanWarning,
     build_executor,
     plan_detection,
     plan_discovery,
@@ -50,6 +55,15 @@ from repro.errors import ProjectError
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.store import ShardStore, make_shard_store
+
+
+def _rule_key(pfd: "PFD") -> str:
+    """A PFD's identity by *content* — attribute pair plus tableau,
+    ignoring the assigned ``psiN`` name — so confirmations can survive a
+    re-check that renumbers the rule set."""
+    data = pfd.to_dict()
+    data.pop("name", None)
+    return json.dumps(data, sort_keys=True)
 
 
 class SessionState(enum.Enum):
@@ -87,6 +101,9 @@ class AnmatSession:
     _detection_rules: List[PFD] = field(default_factory=list, repr=False)
     _detection_strategy: str = field(default=DetectionStrategy.AUTO, repr=False)
     _incremental: Optional[IncrementalDetector] = field(default=None, repr=False)
+    #: maintains the rule set across :meth:`recheck` calls — seeded by
+    #: every sharded discovery run, dropped with the dataset
+    _maintainer: Optional[RuleMaintainer] = field(default=None, repr=False)
     #: the dataset as the engine sees it: eager monolithic table, or a
     #: never-materialized shard-store source
     _source: Optional[DataSource] = field(default=None, repr=False)
@@ -120,6 +137,7 @@ class AnmatSession:
         self.violations = None
         self._detection_rules = []
         self._incremental = None
+        self._maintainer = None
         self.state = SessionState.LOADED
         if self.project is not None:
             self.project.add_dataset(self.dataset_name, self.table)
@@ -216,6 +234,7 @@ class AnmatSession:
             plan, self._source, relation=self.dataset_name
         )
         self.last_plan = plan
+        self._seed_maintainer(plan, self.discovery)
         # By default every discovered dependency is pending confirmation,
         # and any report/edit loop over the previous rule set is dropped.
         self.confirmed_names = []
@@ -226,6 +245,113 @@ class AnmatSession:
         if self.project is not None:
             self.project.save_pfds(self.dataset_name, self.discovery.pfds)
         return self.discovery
+
+    def plan_recheck(self, executor: str = "auto") -> ExecutionPlan:
+        """The :class:`ExecutionPlan` a :meth:`recheck` would run.
+
+        A re-check plan resolves ``config.rule_maintenance`` into
+        ``plan.rule_maintenance`` — ``incremental`` when a sharded
+        discovery baseline is seeded, ``full`` otherwise (with a
+        :class:`~repro.engine.plan.PlanWarning` when ``incremental`` was
+        requested explicitly but cannot run).
+        """
+        self._require_table()
+        return plan_discovery(
+            self.table.n_rows,
+            self.config,
+            executor=executor,
+            sharded_upload=self._source.is_sharded_upload,
+            upload_shard_rows=self._source.upload_shard_rows,
+            recheck=True,
+            maintainable=self._maintainer is not None and self._maintainer.seeded,
+        )
+
+    def recheck(self, executor: str = "auto") -> DiscoveryResult:
+        """Bring the rule set up to date after an edit batch.
+
+        The edit loop keeps the *violations* current per edit
+        (:meth:`edit_cell`); this is its counterpart for the *rules*.
+        The planner resolves how (``plan.rule_maintenance``): with a
+        seeded sharded baseline the
+        :class:`~repro.discovery.maintenance.RuleMaintainer` re-mines
+        only the candidates whose columns the edit batch changed; a
+        structural change (appended/deleted rows) or a monolithic run
+        falls back to full re-discovery.  Either way the resulting rule
+        set is identical to discovering from scratch.
+
+        The plan inherits the upload's shard size exactly like the
+        discovery plan does, so a re-check never silently re-shards a
+        custom-sharded upload at the default size.
+
+        Confirmations survive by rule content: dependencies whose
+        tableau is unchanged stay confirmed (whatever their new number),
+        and when a detection run existed the surviving confirmations are
+        re-detected (session back to ``DETECTED``).  If no confirmation
+        survives, violations are cleared and the session returns to
+        ``DISCOVERED`` awaiting fresh confirmations.
+        """
+        self._require_table()
+        if self.discovery is None:
+            raise ProjectError(
+                "no discovery run to re-check; call run_discovery() first"
+            )
+        plan = self.plan_recheck(executor)
+        confirmed_keys = [_rule_key(pfd) for pfd in self.confirmed_pfds()]
+        had_detection = bool(self._detection_rules)
+        result: Optional[DiscoveryResult] = None
+        if plan.rule_maintenance == "incremental":
+            result = self._maintainer.maintain(
+                self._source.sharded_view(plan.shard_rows),
+                relation=self.dataset_name,
+            )
+            if result is None:
+                reason = (
+                    "the edit batch changed the dataset structurally (or the "
+                    "rule baseline no longer aligns); falling back to full "
+                    "re-discovery"
+                )
+                plan.rule_maintenance = "full"
+                plan.decisions.append(reason)
+                warnings.warn(reason, PlanWarning, stacklevel=2)
+        if result is None:
+            result = build_executor(plan).run_discovery(
+                plan, self._source, relation=self.dataset_name
+            )
+            self._seed_maintainer(plan, result)
+        self.discovery = result
+        self._incremental = None
+        self._detection_rules = []
+        # re-confirm by content: a rule that survived the re-check stays
+        # confirmed under its new name
+        survivors = {_rule_key(pfd): pfd.name for pfd in result.pfds}
+        self.confirmed_names = [
+            survivors[key] for key in confirmed_keys if key in survivors
+        ]
+        if self.project is not None:
+            self.project.save_pfds(
+                self.dataset_name, result.pfds, self.confirmed_names
+            )
+        if had_detection and self.confirmed_names:
+            self.run_detection(strategy=self._detection_strategy)
+        else:
+            self.violations = None
+            self.state = SessionState.DISCOVERED
+        # the re-check plan (not the inner detection plan) is what
+        # --explain-plan and tests should see as the run that just happened
+        self.last_plan = plan
+        return result
+
+    def _seed_maintainer(self, plan: ExecutionPlan, result: DiscoveryResult) -> None:
+        """Adopt a sharded discovery run as the rule-maintenance baseline
+        (monolithic runs have no shard versions to diff — drop any stale
+        baseline instead)."""
+        if plan.backend == ExecutionBackend.SHARDED:
+            self._maintainer = RuleMaintainer(self.config)
+            self._maintainer.seed(
+                self._source.sharded_view(plan.shard_rows), result
+            )
+        else:
+            self._maintainer = None
 
     def discovered_pfds(self) -> List[PFD]:
         if self.discovery is None:
@@ -380,6 +506,7 @@ class AnmatSession:
             self._source = None
         self.table = None
         self._incremental = None
+        self._maintainer = None
 
     def __enter__(self) -> "AnmatSession":
         return self

@@ -54,6 +54,7 @@ from repro.detection.violation import ViolationReport
 from repro.errors import DetectionError
 from repro.patterns.pattern import Pattern
 from repro.perf.memo import MatchMemo, MATCH_MEMO
+from repro.perf.timers import StageTimers
 from repro.pfd.pfd import PFD
 
 
@@ -74,6 +75,7 @@ class IncrementalDetector:
         pfds: Iterable[PFD],
         strategy: str = DetectionStrategy.AUTO,
         memo: Optional[MatchMemo] = None,
+        timers: Optional[StageTimers] = None,
     ):
         if strategy not in DetectionStrategy.ALL:
             raise DetectionError(
@@ -83,6 +85,13 @@ class IncrementalDetector:
         self.pfds = list(pfds)
         self.strategy = strategy
         self.memo = MATCH_MEMO if memo is None else memo
+        #: wall-clock accumulated per maintenance stage across the edit
+        #: loop's lifetime (``seed`` — full state builds, ``reevaluate`` —
+        #: constant-rule row re-evaluations, ``rederive_block`` —
+        #: variable-rule block re-derivations); the bench harness prints
+        #: the breakdown like the mining stage timers, and can pass a
+        #: shared instance to accumulate across detector rebuilds
+        self.timers = StageTimers() if timers is None else timers
         self._rules: List[RuleEvaluator] = []
         # Shadow copies of every rule-referenced column, advanced in
         # lockstep with each replayed delta.  Handlers read these, never
@@ -97,6 +106,10 @@ class IncrementalDetector:
 
     def _rebuild(self) -> None:
         """Compute the full per-rule state from the current table."""
+        with self.timers.stage("seed"):
+            self._rebuild_timed()
+
+    def _rebuild_timed(self) -> None:
         self._rules = []
         self._shadow = {}
         detector = ErrorDetector(self.table, memo=self.memo)
@@ -196,18 +209,23 @@ class IncrementalDetector:
         for evaluator in self._rules:
             if isinstance(evaluator, ConstantRuleEvaluator):
                 if delta.column in (evaluator.lhs, evaluator.rhs):
-                    evaluator.reevaluate_row(
-                        self.memo,
-                        delta.row,
-                        self._shadow[evaluator.lhs][delta.row],
-                        self._shadow[evaluator.rhs][delta.row],
-                    )
+                    with self.timers.stage("reevaluate"):
+                        evaluator.reevaluate_row(
+                            self.memo,
+                            delta.row,
+                            self._shadow[evaluator.lhs][delta.row],
+                            self._shadow[evaluator.rhs][delta.row],
+                        )
             else:
                 rhs_values = self._shadow[evaluator.rhs]
                 if delta.column == evaluator.lhs:
-                    evaluator.move_row(self.memo, delta.row, delta.new, rhs_values)
+                    with self.timers.stage("rederive_block"):
+                        evaluator.move_row(
+                            self.memo, delta.row, delta.new, rhs_values
+                        )
                 elif delta.column == evaluator.rhs:
-                    evaluator.rhs_changed(delta.row, rhs_values)
+                    with self.timers.stage("rederive_block"):
+                        evaluator.rhs_changed(delta.row, rhs_values)
 
     def _apply_append(self, delta: RowAppend) -> None:
         schema = self.table.schema

@@ -27,6 +27,11 @@ from repro.discovery.constant_miner import ConstantPfdMiner
 from repro.discovery.variable_miner import VariablePfdMiner
 from repro.discovery.discoverer import DiscoveryResult, PfdDiscoverer
 
+# imported last: maintenance reaches into repro.sharding (stats, overlay,
+# sharded_table), whose submodules import repro.discovery submodules —
+# keeping this at the bottom keeps the package import acyclic
+from repro.discovery.maintenance import RuleMaintainer
+
 __all__ = [
     "DiscoveryConfig",
     "CandidateDependency",
@@ -40,4 +45,5 @@ __all__ = [
     "VariablePfdMiner",
     "DiscoveryResult",
     "PfdDiscoverer",
+    "RuleMaintainer",
 ]

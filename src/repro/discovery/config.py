@@ -81,6 +81,17 @@ class DiscoveryConfig:
         Root directory for the ``spill``/``object`` stores.  ``None``
         uses a private temporary directory removed when the session (or
         store) is closed.
+    rule_maintenance:
+        How a session re-check after edits refreshes the rule set.
+        ``"auto"`` (the default) maintains the rules incrementally
+        through :class:`~repro.discovery.maintenance.RuleMaintainer`
+        when a sharded baseline is seeded and the change is
+        non-structural, falling back to full re-discovery otherwise;
+        ``"incremental"`` requests maintenance (with a
+        :class:`~repro.engine.plan.PlanWarning` when it cannot run);
+        ``"full"`` always re-discovers from scratch.  The execution
+        plan records the resolved choice.  Maintained and fully
+        re-discovered rule sets are identical.
     """
 
     min_coverage: float = 0.6
@@ -100,6 +111,7 @@ class DiscoveryConfig:
     use_kernels: str = "auto"
     store: str = "memory"
     spill_dir: Optional[str] = None
+    rule_maintenance: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -128,6 +140,11 @@ class DiscoveryConfig:
         if self.store not in ("memory", "spill", "object"):
             raise DiscoveryError(
                 f"store must be 'memory', 'spill' or 'object', got {self.store!r}"
+            )
+        if self.rule_maintenance not in ("auto", "incremental", "full"):
+            raise DiscoveryError(
+                "rule_maintenance must be 'auto', 'incremental' or 'full', got "
+                f"{self.rule_maintenance!r}"
             )
 
     @property

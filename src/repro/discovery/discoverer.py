@@ -309,6 +309,60 @@ class PfdDiscoverer:
             reports.append(report)
         return reports
 
+    # -- per-candidate re-mining ------------------------------------------------
+
+    def remine_candidate(
+        self,
+        candidate: CandidateDependency,
+        lhs_values: Sequence[str],
+        rhs_values: Sequence[str],
+        tokenization: Optional[ColumnTokenization] = None,
+    ) -> DependencyReport:
+        """Mine a single candidate over materialized columns.
+
+        The per-candidate entry point of the rule maintainer
+        (:mod:`repro.discovery.maintenance`): a candidate's report is a
+        pure function of its two column value sequences, so re-running
+        just the candidates whose columns changed — through the very
+        loop body the batch paths use — reproduces a full re-discovery's
+        reports exactly.
+        """
+        return _mine_candidate_values(
+            candidate,
+            lhs_values,
+            rhs_values,
+            self.config,
+            self.constant_miner,
+            self.variable_miner,
+            tokenization=tokenization,
+            timers=self.timers,
+        )
+
+    def remine_candidate_encoded(
+        self,
+        candidate: CandidateDependency,
+        lhs_encoding: ColumnEncoding,
+        rhs_encoding: ColumnEncoding,
+        triples_by_code=None,
+    ) -> Optional[DependencyReport]:
+        """Mine a single candidate over encoded columns (kernel path).
+
+        Returns ``None`` when the miners were customized beyond what the
+        kernels reproduce — the caller then falls back to
+        :meth:`remine_candidate`, the same fallback rule the batch kernel
+        paths apply.
+        """
+        return _mine_candidate_encoded(
+            candidate,
+            lhs_encoding,
+            rhs_encoding,
+            triples_by_code,
+            self.config,
+            self.constant_miner,
+            self.variable_miner,
+            timers=self.timers,
+        )
+
     # -- PFD construction ----------------------------------------------------------
 
     @staticmethod

@@ -1,0 +1,467 @@
+"""Incremental rule maintenance: edit batches as delta shards.
+
+PR 2 made *violations* incremental; this module does the same for the
+mined *rule set*.  A re-check after an interactive edit batch used to
+re-run full discovery — re-profiling every column, re-tokenizing every
+LHS, re-mining every candidate — even though a batch of cell repairs
+touches a handful of shards and a couple of columns.
+
+:class:`RuleMaintainer` keeps the baseline of the last sharded discovery
+run (the sealed view, its shard versions, the per-candidate reports, the
+per-column profiles) and, given the freshly sealed view of the edited
+overlay, maintains the rule set instead of recomputing it:
+
+1. **Dirty shards** are the version diff between the two seals
+   (:meth:`~repro.sharding.sharded_table.ShardedTable.dirty_shards`) —
+   overlay seals are snapshots, so untouched shards keep identical
+   versions across seals.
+2. **Changed columns** are found by comparing each dirty shard's old and
+   new contents column-wise (prefiltered to the columns the overlay
+   actually edited), which also recognizes edits that restored the
+   original value.
+3. **Profiles** are rebuilt for changed columns only; clean columns
+   reuse their baseline :class:`~repro.dataset.profiling.ColumnProfile`
+   (so candidate generation sees byte-identical inputs).
+4. **Candidates** are recomputed from the updated profile — the same
+   deterministic :func:`~repro.discovery.candidates.candidate_dependencies`
+   full discovery runs.
+5. **Mining** runs only for candidates touching a changed column (or
+   new to the candidate set), through the existing per-candidate loop
+   bodies — kernel and scalar paths both.  A candidate's report is a
+   pure function of its two column value sequences, so clean candidates
+   reuse their baseline report and the assembled rule set is *identical*
+   to a full re-discovery (the differential gate in
+   ``tests/discovery/test_maintenance.py`` asserts this).
+
+The delta-shard statistics of :mod:`repro.sharding.stats` carry the
+maintained state forward: stored LHS tokenizations are updated with
+:func:`~repro.sharding.stats.splice_tokenization` (retract the dirty
+shard's rows, splice in the replacement), and the merged pair groups a
+previous detection run left on the old view are moved to the new view
+via :func:`~repro.sharding.stats.unmerge_pair_groups` /
+:func:`~repro.sharding.stats.merge_into_pair_groups` —
+``merged = base − old_delta + new_delta`` — so the re-detection that
+follows a re-check skips the cross-shard merge as well.
+
+Structural changes (appends, deletes, repartitions) shift global row
+ids and change *every* column's value sequence, which would dirty every
+candidate — exactly a full re-discovery.  :meth:`RuleMaintainer.maintain`
+returns ``None`` for those; the caller falls back to the full pipeline
+and re-seeds (the planner records the fallback as a plan decision).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dataset.profiling import ColumnProfileBuilder, TableProfile
+from repro.discovery.candidates import CandidateDependency, candidate_dependencies
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.decision import DecisionFunction
+from repro.discovery.discoverer import (
+    DependencyReport,
+    DiscoveryResult,
+    PfdDiscoverer,
+)
+from repro.discovery.inverted_index import ColumnTokenization
+from repro.kernels.encoder import ColumnEncoding, encode_chunks
+from repro.kernels.runtime import kernels_enabled
+from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
+from repro.sharding.overlay import OverlayShardStore
+from repro.sharding.sharded_table import ShardedTable
+from repro.sharding.stats import (
+    extract_pair_groups,
+    merge_into_pair_groups,
+    merge_tokenizations,
+    splice_tokenization,
+    unmerge_pair_groups,
+)
+
+#: a report is keyed by what determines it: the attribute pair plus the
+#: LHS token mode (the mode can flip when the LHS profile changes)
+ReportKey = Tuple[str, str, str]
+
+
+def _report_key(candidate: CandidateDependency) -> ReportKey:
+    return (candidate.lhs, candidate.rhs, candidate.lhs_mode)
+
+
+def _base_of(view: ShardedTable) -> ShardedTable:
+    """The immutable base behind a (possibly overlay-sealed) view."""
+    store = view.store
+    if isinstance(store, OverlayShardStore):
+        return store.base
+    return view
+
+
+class RuleMaintainer:
+    """Maintains a discovered rule set under overlay edit batches.
+
+    Sits beside :class:`~repro.detection.incremental.IncrementalDetector`
+    in the session: the detector keeps the *violations* current per
+    edit, the maintainer keeps the *rules* current per re-check.  Seed
+    it with a sharded discovery run (:meth:`seed`), then hand each
+    re-check's freshly sealed view to :meth:`maintain`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DiscoveryConfig] = None,
+        decision: Optional[DecisionFunction] = None,
+    ):
+        #: supplies the miners, the per-candidate loop bodies, and the
+        #: assemble stage — the same pipeline full discovery runs
+        self.discoverer = PfdDiscoverer(config, decision)
+        self.config = self.discoverer.config
+        self.timers = self.discoverer.timers
+        self._view: Optional[ShardedTable] = None
+        self._versions: Tuple[int, ...] = ()
+        self._row_counts: List[int] = []
+        self._n_rows = 0
+        self._reports: Dict[ReportKey, DependencyReport] = {}
+        self._profiles: Dict[str, object] = {}
+        #: maintained merged LHS tokenizations, (column, mode) → statistic
+        self._tokenizations: Dict[Tuple[str, str], ColumnTokenization] = {}
+
+    @property
+    def seeded(self) -> bool:
+        """Whether a baseline discovery run has been adopted."""
+        return self._view is not None
+
+    def seed(self, view: ShardedTable, result: DiscoveryResult) -> None:
+        """Adopt a sharded discovery run over ``view`` as the baseline.
+
+        Cheap — stores references and the shard-version snapshot; the
+        maintained tokenizations are built lazily at the first
+        :meth:`maintain` that needs them.
+        """
+        self._view = view
+        self._versions = view.versions()
+        self._row_counts = list(view.shard_row_counts())
+        self._n_rows = view.n_rows
+        self._reports = {
+            _report_key(report.candidate): report for report in result.reports
+        }
+        self._profiles = dict(result.profile.columns)
+        self._tokenizations = {}
+
+    def reset(self) -> None:
+        """Drop the baseline (e.g. when the dataset is replaced)."""
+        self._view = None
+        self._versions = ()
+        self._row_counts = []
+        self._reports = {}
+        self._profiles = {}
+        self._tokenizations = {}
+
+    # -- the maintenance pass ---------------------------------------------------
+
+    def maintain(
+        self, view: ShardedTable, relation: Optional[str] = None
+    ) -> Optional[DiscoveryResult]:
+        """Bring the rule set up to date with a freshly sealed view.
+
+        Returns the maintained :class:`DiscoveryResult` — identical to a
+        full re-discovery over ``view`` — and advances the baseline to
+        it.  Returns ``None`` when the baseline does not align
+        (unseeded, a different base dataset, a repartition, or a
+        structural change such as appends/deletes, where every candidate
+        would re-mine anyway): the caller runs full discovery instead
+        and re-seeds.
+        """
+        started = time.perf_counter()
+        old_view = self._view
+        if old_view is None:
+            return None
+        if view.column_names() != old_view.column_names():
+            return None
+        if _base_of(view) is not _base_of(old_view):
+            # different base shards (repartition, reload): the version
+            # spaces are not comparable, no diff is possible
+            return None
+        new_counts = view.shard_row_counts()
+        if new_counts != self._row_counts:
+            # appends/deletes shift global row ids and change every
+            # column's value sequence — a full re-mine in disguise
+            return None
+
+        dirty = view.dirty_shards(self._versions)
+        changed_in_shard, changed_columns = self._diff_columns(view, dirty)
+
+        with self.timers.stage("tokenize"):
+            self._splice_tokenizations(view, dirty, changed_in_shard)
+        with self.timers.stage("pair_groups"):
+            self._carry_pair_groups(view, dirty, changed_in_shard)
+
+        with self.timers.stage("profile"):
+            profile = self._maintained_profile(view, changed_columns)
+        with self.timers.stage("candidates"):
+            candidates = candidate_dependencies(view, self.config, profile)
+
+        with self.timers.stage("mine"):
+            reports: List[DependencyReport] = []
+            for candidate in candidates:
+                baseline = self._reports.get(_report_key(candidate))
+                if (
+                    baseline is not None
+                    and candidate.lhs not in changed_columns
+                    and candidate.rhs not in changed_columns
+                ):
+                    # clean candidate: same value sequences, same report
+                    reports.append(baseline)
+                else:
+                    reports.append(self._remine(view, candidate))
+        with self.timers.stage("assemble"):
+            pfds = self.discoverer.assemble_pfds(candidates, reports, relation)
+
+        # same memory hygiene as the sharded discoverer: the O(n) mining
+        # merges must not be carried past discovery
+        view.drop_merged_artifacts(
+            "column_concat",
+            "column_encoding",
+            "kernel_triples",
+            "merged_tokenization",
+        )
+
+        # advance the baseline to the maintained state
+        self._view = view
+        self._versions = view.versions()
+        self._row_counts = new_counts
+        self._reports = {
+            _report_key(report.candidate): report for report in reports
+        }
+        self._profiles = dict(profile.columns)
+
+        return DiscoveryResult(
+            pfds=pfds,
+            reports=reports,
+            profile=profile,
+            config=self.config,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # -- change detection -------------------------------------------------------
+
+    def _diff_columns(
+        self, view: ShardedTable, dirty: Sequence[int]
+    ) -> Tuple[Dict[int, Set[str]], Set[str]]:
+        """Per dirty shard, the columns whose contents actually changed.
+
+        The overlay's edited-column sets prefilter the comparison (only
+        columns with at least one edit can differ between seals); the
+        element-wise check then drops edits that restored the original
+        value, so a reverted batch dirties nothing.
+        """
+        names = view.column_names()
+        new_store = view.store
+        old_view = self._view
+        changed_in_shard: Dict[int, Set[str]] = {}
+        changed_columns: Set[str] = set()
+        for index in dirty:
+            if isinstance(new_store, OverlayShardStore):
+                compare = [
+                    names[j] for j in sorted(new_store.edited_columns(index))
+                ]
+            else:
+                compare = names
+            old_shard = old_view.store.get(index)
+            new_shard = view.store.get(index)
+            changed: Set[str] = set()
+            for name in compare:
+                if old_shard.column_ref(name) != new_shard.column_ref(name):
+                    changed.add(name)
+            changed_in_shard[index] = changed
+            changed_columns |= changed
+        return changed_in_shard, changed_columns
+
+    # -- maintained statistics --------------------------------------------------
+
+    def _splice_tokenizations(
+        self,
+        view: ShardedTable,
+        dirty: Sequence[int],
+        changed_in_shard: Dict[int, Set[str]],
+    ) -> None:
+        """``merged = base − old_delta + new_delta`` for every stored LHS
+        tokenization whose column changed: the dirty shard's row range is
+        retracted and the re-extracted shard rows are spliced in."""
+        for (column, mode), tokenization in self._tokenizations.items():
+            for index in dirty:
+                if column not in changed_in_shard[index]:
+                    continue
+                replacement = ColumnTokenization.extract(
+                    view.store.get(index).column_ref(column),
+                    mode,
+                    self.config.ngram_size,
+                ).row_tokens
+                splice_tokenization(
+                    tokenization,
+                    view.offset_of(index),
+                    self._row_counts[index],
+                    replacement,
+                )
+
+    def _maintained_tokenization(
+        self, view: ShardedTable, column: str, mode: str
+    ) -> ColumnTokenization:
+        """The merged LHS tokenization for one column, built shard-wise
+        on first use and kept current by :meth:`_splice_tokenizations`
+        on every later maintain."""
+        key = (column, mode)
+        tokenization = self._tokenizations.get(key)
+        if tokenization is None:
+            value_cache: Dict[str, tuple] = {}
+            shard_rows = [
+                ColumnTokenization.extract(
+                    shard.column_ref(column),
+                    mode,
+                    self.config.ngram_size,
+                    value_cache=value_cache,
+                ).row_tokens
+                for _offset, shard in view.iter_shards()
+            ]
+            tokenization = merge_tokenizations(
+                mode, self.config.ngram_size, shard_rows
+            )
+            self._tokenizations[key] = tokenization
+        return tokenization
+
+    def _carry_pair_groups(
+        self,
+        view: ShardedTable,
+        dirty: Sequence[int],
+        changed_in_shard: Dict[int, Set[str]],
+    ) -> None:
+        """Move the old view's merged pair groups (built by the detection
+        run that followed the baseline discovery) onto the new view.
+
+        Pairs over clean columns are carried as-is; pairs touching a
+        changed column have each dirty shard's contribution unmerged
+        (extracted from the *old* shard — seals are snapshots, so it is
+        still readable) and the replacement shard's merged back in.  The
+        artifacts are primed into the new view's merged cache, so the
+        re-detection after a re-check skips the cross-shard merge.
+        """
+        old_view = self._view
+        if view is old_view:
+            return  # nothing changed; the artifacts are already in place
+        for key in old_view.merged_artifact_keys("merged_pair_groups"):
+            merged = old_view.peek_merged_artifact(key)
+            if merged is None:
+                continue
+            _tag, lhs, rhs = key
+            for index in dirty:
+                changed = changed_in_shard[index]
+                if lhs not in changed and rhs not in changed:
+                    continue
+                offset = view.offset_of(index)
+                old_shard = old_view.store.get(index)
+                new_shard = view.store.get(index)
+                unmerge_pair_groups(
+                    merged,
+                    extract_pair_groups(
+                        old_shard.column_ref(lhs),
+                        old_shard.column_ref(rhs),
+                        offset,
+                    ),
+                )
+                merge_into_pair_groups(
+                    merged,
+                    extract_pair_groups(
+                        new_shard.column_ref(lhs),
+                        new_shard.column_ref(rhs),
+                        offset,
+                    ),
+                )
+            view.prime_merged_artifact(key, merged)
+        # the moved artifacts now reflect the *new* state; the old view
+        # must not keep serving them
+        old_view.drop_merged_artifacts("merged_pair_groups")
+
+    # -- per-candidate re-mining ------------------------------------------------
+
+    def _maintained_profile(
+        self, view: ShardedTable, changed_columns: Set[str]
+    ) -> TableProfile:
+        """Baseline profiles for clean columns, a streaming rebuild for
+        changed ones — assembled in schema order so candidate generation
+        sees exactly what a full re-profile would."""
+        columns = {}
+        for name in view.column_names():
+            if name in changed_columns or name not in self._profiles:
+                builder = ColumnProfileBuilder(name)
+                for _offset, shard in view.iter_shards():
+                    builder.add(shard.column_ref(name))
+                columns[name] = builder.finish()
+            else:
+                columns[name] = self._profiles[name]
+        return TableProfile(n_rows=view.n_rows, columns=columns)
+
+    def _remine(
+        self, view: ShardedTable, candidate: CandidateDependency
+    ) -> DependencyReport:
+        """Re-mine one dirty candidate through the existing loop bodies
+        (kernel path when enabled, with the batch paths' scalar
+        fallback)."""
+        if kernels_enabled(self.config.use_kernels):
+            return self._remine_kernel(view, candidate)
+        tokenization = None
+        if self.config.discover_constant:
+            tokenization = self._maintained_tokenization(
+                view, candidate.lhs, candidate.lhs_mode
+            )
+        return self.discoverer.remine_candidate(
+            candidate,
+            view.column_concat(candidate.lhs),
+            view.column_concat(candidate.rhs),
+            tokenization=tokenization,
+        )
+
+    def _remine_kernel(
+        self, view: ShardedTable, candidate: CandidateDependency
+    ) -> DependencyReport:
+        lhs_encoding = self._encoding(view, candidate.lhs)
+        rhs_encoding = self._encoding(view, candidate.rhs)
+        triples = None
+        if self.config.discover_constant:
+            triples = view.merged_artifact(
+                (
+                    "kernel_triples",
+                    candidate.lhs,
+                    candidate.lhs_mode,
+                    self.config.ngram_size,
+                ),
+                lambda: batch_tokenize(
+                    lhs_encoding, candidate.lhs_mode, self.config.ngram_size
+                ),
+            )
+        report = self.discoverer.remine_candidate_encoded(
+            candidate, lhs_encoding, rhs_encoding, triples
+        )
+        if report is None:
+            tokenization = None
+            if self.config.discover_constant:
+                tokenization = tokenization_from_encoding(
+                    lhs_encoding,
+                    candidate.lhs_mode,
+                    self.config.ngram_size,
+                    triples,
+                )
+            report = self.discoverer.remine_candidate(
+                candidate,
+                view.column_concat(candidate.lhs),
+                view.column_concat(candidate.rhs),
+                tokenization=tokenization,
+            )
+        return report
+
+    def _encoding(self, view: ShardedTable, name: str) -> ColumnEncoding:
+        """One column's factorized encoding, streamed shard by shard
+        (cached on the view for the other candidates of this pass)."""
+        return view.merged_artifact(
+            ("column_encoding", name),
+            lambda: encode_chunks(
+                shard.column_ref(name) for _offset, shard in view.iter_shards()
+            ),
+        )

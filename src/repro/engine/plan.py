@@ -91,6 +91,10 @@ class ExecutionPlan:
     store: str = "memory"
     #: the executor the caller asked for (``"auto"`` or a backend name)
     requested_executor: str = "auto"
+    #: how a re-check refreshes the rule set: ``"incremental"`` routes
+    #: through the rule maintainer, ``"full"`` re-discovers from scratch,
+    #: ``"none"`` for plans that are not re-checks
+    rule_maintenance: str = "none"
     #: human-readable routing decisions, in the order they were taken
     decisions: List[str] = field(default_factory=list)
 
@@ -101,10 +105,15 @@ class ExecutionPlan:
             shape = f"shards={self.n_shards}x{self.shard_rows} store={self.store}"
         else:
             shape = f"strategy={self.strategy}"
+        maintenance = (
+            f" rule_maintenance={self.rule_maintenance}"
+            if self.rule_maintenance != "none"
+            else ""
+        )
         lines = [
             f"execution plan ({self.kind}): backend={self.backend} "
             f"{shape} workers={self.n_workers} rows={self.n_rows} "
-            f"kernels={self.use_kernels}"
+            f"kernels={self.use_kernels}{maintenance}"
         ]
         lines.extend(f"  - {decision}" for decision in self.decisions)
         return "\n".join(lines)
@@ -119,6 +128,8 @@ def plan_run(
     executor: str = "auto",
     sharded_upload: bool = False,
     upload_shard_rows: int = 0,
+    recheck: bool = False,
+    maintainable: bool = False,
 ) -> ExecutionPlan:
     """Resolve one discovery/detection run into an :class:`ExecutionPlan`.
 
@@ -142,6 +153,13 @@ def plan_run(
     upload_shard_rows:
         The upload's largest shard, used as the shard size when
         ``config.shard_rows`` does not name one.
+    recheck:
+        Discovery only — whether this run refreshes an existing rule set
+        after edits (``AnmatSession.recheck()``) rather than discovering
+        from scratch; enables the rule-maintenance resolution below.
+    maintainable:
+        Whether a seeded :class:`~repro.discovery.maintenance.RuleMaintainer`
+        baseline exists for the dataset being re-checked.
     """
     if kind not in ("discovery", "detection"):
         raise ValueError(f"unknown plan kind {kind!r}")
@@ -279,6 +297,40 @@ def plan_run(
                 "the sharded upload into one monolithic table"
             )
 
+    # -- rule maintenance ----------------------------------------------------
+    # Only a re-check maintains; a first discovery has nothing to maintain.
+    # Incremental maintenance additionally needs the sharded backend (the
+    # maintainer diffs shard versions) and a seeded baseline.
+    rule_maintenance = "none"
+    if kind == "discovery" and recheck:
+        requested = config.rule_maintenance
+        if requested == "full":
+            rule_maintenance = "full"
+            decisions.append(
+                "rule_maintenance='full' requested: the re-check re-discovers "
+                "from scratch"
+            )
+        elif backend != ExecutionBackend.SHARDED or not maintainable:
+            rule_maintenance = "full"
+            reason = (
+                "no maintainable rule baseline for this re-check "
+                "(incremental maintenance needs a prior sharded discovery "
+                "run); re-discovering from scratch"
+                if backend == ExecutionBackend.SHARDED
+                else f"rule maintenance needs the sharded backend, not "
+                f"{backend}; re-discovering from scratch"
+            )
+            decisions.append(reason)
+            if requested == "incremental":
+                warnings.warn(reason, PlanWarning, stacklevel=2)
+        else:
+            rule_maintenance = "incremental"
+            decisions.append(
+                "re-check maintains the rule set incrementally from the "
+                "seeded baseline (falls back to full re-discovery on "
+                "structural changes)"
+            )
+
     return ExecutionPlan(
         kind=kind,
         backend=backend,
@@ -292,6 +344,7 @@ def plan_run(
         materialization=materialization,
         store=config.store,
         requested_executor=executor,
+        rule_maintenance=rule_maintenance,
         decisions=decisions,
     )
 
@@ -303,6 +356,8 @@ def plan_discovery(
     executor: str = "auto",
     sharded_upload: bool = False,
     upload_shard_rows: int = 0,
+    recheck: bool = False,
+    maintainable: bool = False,
 ) -> ExecutionPlan:
     """Plan one discovery run (see :func:`plan_run`)."""
     return plan_run(
@@ -312,6 +367,8 @@ def plan_discovery(
         executor=executor,
         sharded_upload=sharded_upload,
         upload_shard_rows=upload_shard_rows,
+        recheck=recheck,
+        maintainable=maintainable,
     )
 
 

@@ -21,8 +21,11 @@ from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import (
     MergedPairGroups,
     extract_pair_groups,
+    merge_into_pair_groups,
     merge_pair_groups,
     merge_tokenizations,
+    splice_tokenization,
+    unmerge_pair_groups,
 )
 from repro.sharding.store import (
     STORE_KINDS,
@@ -49,6 +52,9 @@ __all__ = [
     "MergedPairGroups",
     "extract_pair_groups",
     "merge_pair_groups",
+    "merge_into_pair_groups",
+    "unmerge_pair_groups",
     "merge_tokenizations",
+    "splice_tokenization",
     "make_shard_store",
 ]

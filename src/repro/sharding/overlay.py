@@ -69,6 +69,10 @@ class ShardOverlay:
         #: appended rows, columnar
         self._tail_columns: List[List[str]] = [[] for _ in self._schema.names()]
         self._tail_rows = 0
+        #: count of tail mutations (appends, tail edits, tail deletes) —
+        #: staleness key material for the sealed tail shard, so base-only
+        #: edit batches do not dirty the tail across seals
+        self._tail_mutations = 0
         self._version = 0
         self._delta_log: List[TableDelta] = []
         self._log_floor = 0
@@ -270,6 +274,7 @@ class ShardOverlay:
         tail_row = row - self._n_base_live
         if tail_row >= 0:
             self._tail_columns[index][tail_row] = new
+            self._tail_mutations += 1
         else:
             shard_index, local_row = self._base.locate(self._base_row(row))
             self._edits[shard_index][(local_row, index)] = new
@@ -311,6 +316,7 @@ class ShardOverlay:
         for column, value in zip(self._tail_columns, row_values):
             column.append(value)
         self._tail_rows += 1
+        self._tail_mutations += 1
         row = self.n_rows - 1
         self._record_delta(
             RowAppend(version=self._version + 1, row=row, values=tuple(row_values))
@@ -331,6 +337,7 @@ class ShardOverlay:
             for column in self._tail_columns:
                 del column[tail_row]
             self._tail_rows -= 1
+            self._tail_mutations += 1
         else:
             insort(self._deleted, self._base_row(row))
         self._record_delta(
@@ -347,14 +354,28 @@ class ShardOverlay:
         stop = bisect_left(self._deleted, end, lo=start)
         return stop - start
 
+    def dirty_shards(self) -> List[int]:
+        """Base shard indexes touched by edits or deletions (tail rows
+        are not a base shard; check :attr:`is_touched` /
+        ``_tail_rows`` for appends)."""
+        return [
+            index
+            for index in range(self._base.n_shards)
+            if self._edits[index] or self._shard_delete_count(index) > 0
+        ]
+
     def as_sharded(self) -> ShardedTable:
         """Seal the current overlay state into a :class:`ShardedTable`.
 
         Untouched base shards pass through by identity (their per-shard
         cached statistics stay valid); touched shards are patched
         copy-on-read; appended rows become one extra tail shard.  The
-        result snapshots the current version — mutate the overlay again
-        and you need a fresh seal.
+        seal is a true **snapshot**: the store captures the overlay's
+        edits, tombstones and tail at construction, so mutating the
+        overlay afterwards never changes an already-sealed view — two
+        seals taken before and after an edit batch disagree exactly on
+        the shards the batch touched, which is what dirty-shard diffing
+        (:meth:`ShardedTable.dirty_shards`) relies on.
         """
         if not self.is_touched:
             return self._base
@@ -362,33 +383,69 @@ class ShardOverlay:
 
 
 class OverlayShardStore(ShardStore):
-    """Read-only :class:`ShardStore` view of a :class:`ShardOverlay`.
+    """Read-only :class:`ShardStore` **snapshot** of a :class:`ShardOverlay`.
 
     Shard layout: the base's shards in order (fully passed through when
     untouched, patched otherwise), plus one tail shard when rows were
     appended.  Fully-deleted base shards stay in the layout as zero-row
     shards so shard indexes remain aligned with the base.
+
+    All overlay state — per-shard edits, tombstones, tail columns — is
+    copied at construction.  The overlay may keep mutating afterwards;
+    this store keeps serving the state it was sealed from, and its
+    :meth:`versions` are stable.  Shards untouched *between* two seals
+    of the same overlay report identical versions across both stores, so
+    a sealed view from before an edit batch and one from after diff to
+    exactly the batch's dirty shards.
     """
 
     def __init__(self, overlay: ShardOverlay):
         super().__init__()
-        self._overlay = overlay
         self._schema = overlay.schema
         base = overlay.base
         self._base = base
+        #: snapshot of the per-shard edit maps (the dicts are copied; the
+        #: cell strings are shared)
+        self._edits: List[Dict[Tuple[int, int], str]] = [
+            dict(edits) for edits in overlay._edits
+        ]
+        self._edit_counts: List[int] = list(overlay._edit_counts)
+        #: snapshot of the tombstones, as per-shard *local* row sets
+        self._deleted_locals: List[frozenset] = []
+        for index, count in enumerate(base.shard_row_counts()):
+            offset = base.offset_of(index)
+            start = bisect_left(overlay._deleted, offset)
+            stop = bisect_left(overlay._deleted, offset + count, lo=start)
+            self._deleted_locals.append(
+                frozenset(g - offset for g in overlay._deleted[start:stop])
+            )
         self._row_counts: List[int] = [
-            count - overlay._shard_delete_count(i)
+            count - len(self._deleted_locals[i])
             for i, count in enumerate(base.shard_row_counts())
         ]
-        self._has_tail = overlay._tail_rows > 0
+        self._tail_rows = overlay._tail_rows
+        self._has_tail = self._tail_rows > 0
+        self._tail_columns: Optional[List[List[str]]] = (
+            [list(column) for column in overlay._tail_columns]
+            if self._has_tail
+            else None
+        )
+        self._tail_mutations = overlay._tail_mutations
         if self._has_tail:
-            self._row_counts.append(overlay._tail_rows)
+            self._row_counts.append(self._tail_rows)
         #: patched shards already built, by shard index
         self._patched: Dict[int, Table] = {}
+        self._versions = self._compute_versions()
 
     @property
     def n_shards(self) -> int:
         return len(self._row_counts)
+
+    @property
+    def base(self) -> ShardedTable:
+        """The immutable base dataset this seal patches.  Two sealed
+        views are version-comparable exactly when they share a base."""
+        return self._base
 
     def append(self, shard: Table) -> None:
         raise TableError("an overlay shard store is read-only; edit the overlay")
@@ -397,8 +454,29 @@ class OverlayShardStore(ShardStore):
         return list(self._row_counts)
 
     def _is_passthrough(self, index: int) -> bool:
-        overlay = self._overlay
-        return not overlay._edits[index] and overlay._shard_delete_count(index) == 0
+        return not self._edits[index] and not self._deleted_locals[index]
+
+    def dirty_shards(self) -> List[int]:
+        """Shard indexes whose contents differ from the base (the tail
+        shard index included when rows were appended)."""
+        dirty = [
+            index
+            for index in range(self._base.n_shards)
+            if not self._is_passthrough(index)
+        ]
+        if self._has_tail:
+            dirty.append(len(self._row_counts) - 1)
+        return dirty
+
+    def edited_columns(self, index: int) -> frozenset:
+        """Column indexes with at least one cell edit in a base shard at
+        seal time — a superset of the columns whose contents actually
+        differ (an edit may have restored the original value).  For the
+        tail shard no per-column bookkeeping exists, so every column is
+        reported (still a superset)."""
+        if index >= len(self._edits):
+            return frozenset(range(len(self._schema)))
+        return frozenset(j for (_local, j) in self._edits[index])
 
     def get(self, index: int) -> Table:
         if self._has_tail and index == len(self._row_counts) - 1:
@@ -406,7 +484,7 @@ class OverlayShardStore(ShardStore):
             if tail is None:
                 tail = Table(
                     self._schema,
-                    [list(col) for col in self._overlay._tail_columns],
+                    [list(column) for column in self._tail_columns],
                 )
                 self._patched[index] = tail
             return tail
@@ -419,15 +497,9 @@ class OverlayShardStore(ShardStore):
         return patched
 
     def _patch_shard(self, index: int) -> Table:
-        overlay = self._overlay
         base_shard = self._base.store.get(index)
-        offset = self._base.offset_of(index)
-        edits = overlay._edits[index]
-        start = bisect_left(overlay._deleted, offset)
-        stop = bisect_left(
-            overlay._deleted, offset + base_shard.n_rows, lo=start
-        )
-        deleted = {g - offset for g in overlay._deleted[start:stop]}
+        edits = self._edits[index]
+        deleted = self._deleted_locals[index]
         names = self._schema.names()
         columns: List[List[str]] = []
         for j, name in enumerate(names):
@@ -441,10 +513,9 @@ class OverlayShardStore(ShardStore):
             )
         return Table(self._schema, columns)
 
-    def versions(self) -> Tuple[int, ...]:
+    def _compute_versions(self) -> Tuple[int, ...]:
         base_versions = self._base.versions()
         versions: List[int] = []
-        overlay = self._overlay
         for index in range(len(base_versions)):
             if self._is_passthrough(index):
                 versions.append(base_versions[index])
@@ -453,14 +524,19 @@ class OverlayShardStore(ShardStore):
                     hash(
                         (
                             base_versions[index],
-                            overlay._edit_counts[index],
-                            overlay._shard_delete_count(index),
+                            self._edit_counts[index],
+                            len(self._deleted_locals[index]),
                         )
                     )
                 )
         if self._has_tail:
-            versions.append(hash(("tail", overlay._tail_rows, overlay.version)))
+            # keyed on the tail's own mutation count: two seals whose
+            # edit batches touched only base shards agree on the tail
+            versions.append(hash(("tail", self._tail_rows, self._tail_mutations)))
         return tuple(versions)
+
+    def versions(self) -> Tuple[int, ...]:
+        return self._versions
 
     def close(self) -> None:
         # The base store's lifetime belongs to whoever created it (the

@@ -205,6 +205,27 @@ class ShardedTable:
         merged artifact."""
         return self._store.versions()
 
+    def dirty_shards(self, baseline_versions: Sequence[int]) -> List[int]:
+        """Shard indexes whose version differs from a baseline snapshot.
+
+        The baseline is a :meth:`versions` tuple taken from an earlier
+        view of the same logical dataset (e.g. the sealed overlay view a
+        discovery run mined).  Overlay seals snapshot their state, so
+        shards untouched between two seals keep identical versions and
+        the diff is exactly the edit batch's dirty shards.  When this
+        view has *more* shards than the baseline (an appended tail
+        shard), the extra indexes are dirty by definition.
+        """
+        baseline = tuple(baseline_versions)
+        current = self.versions()
+        dirty = [
+            index
+            for index in range(min(len(baseline), len(current)))
+            if current[index] != baseline[index]
+        ]
+        dirty.extend(range(len(baseline), len(current)))
+        return dirty
+
     def merged_artifact(self, key: Hashable, build) -> object:
         """A cached cross-shard artifact, rebuilt when any shard mutated.
 
@@ -220,6 +241,34 @@ class ShardedTable:
         artifact = build()
         self._merged_cache[key] = (versions, artifact)
         return artifact
+
+    def peek_merged_artifact(self, key: Hashable):
+        """A cached merged artifact if present *and* still valid for the
+        current shard versions, else ``None`` — never builds."""
+        entry = self._merged_cache.get(key)
+        if entry is not None and entry[0] == self.versions():
+            return entry[1]
+        return None
+
+    def merged_artifact_keys(self, prefix: str) -> List[Hashable]:
+        """The cached artifact keys under one prefix (valid or not)."""
+        return [
+            key
+            for key in self._merged_cache
+            if isinstance(key, tuple) and key and key[0] == prefix
+        ]
+
+    def prime_merged_artifact(self, key: Hashable, artifact: object) -> None:
+        """Install a merged artifact computed elsewhere, keyed to the
+        current shard versions.
+
+        The rule maintainer uses this to carry incrementally maintained
+        statistics (e.g. unmerged/re-merged pair groups) onto a freshly
+        sealed view, so the detection run that follows a re-check skips
+        the cross-shard merge.  The caller guarantees the artifact equals
+        what :meth:`merged_artifact`'s build would produce.
+        """
+        self._merged_cache[key] = (self.versions(), artifact)
 
     def drop_merged_artifacts(self, *prefixes: str) -> int:
         """Evict cached merged artifacts by key prefix (all of them when

@@ -25,10 +25,21 @@ they cross process boundaries cheaply when the shard fan-out runs on
 ``concurrent.futures`` workers — and stay small enough to hold for a
 whole out-of-core run without approaching the materialized table's
 footprint.
+
+Both statistics are also **invertible**: because one shard's global row
+ids form a contiguous range, a shard's contribution occupies a
+contiguous slice of every merged row list (and a contiguous row range of
+the merged tokenization).  :func:`unmerge_pair_groups` /
+:func:`merge_into_pair_groups` and :func:`splice_tokenization` exploit
+that to retract one shard's statistic and insert a replacement —
+``merged = base − old_delta + new_delta`` — which is what lets the rule
+maintainer (:mod:`repro.discovery.maintenance`) treat an edit batch from
+the shard overlay as a *delta shard* instead of re-merging everything.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constrained.constrained_pattern import ConstrainedPattern
@@ -85,6 +96,90 @@ def merge_pair_groups(shard_groups: Sequence[PairGroups]) -> "MergedPairGroups":
                 else:
                     existing.extend(rows)
     return MergedPairGroups(merged)
+
+
+def unmerge_pair_groups(
+    merged: "MergedPairGroups", shard_groups: PairGroups
+) -> None:
+    """Retract one shard's contribution from a merged statistic, in place.
+
+    ``shard_groups`` must be the pair groups *as extracted from that
+    shard* (same offset, same contents) — exactly what
+    :func:`extract_pair_groups` produced when the shard was merged.
+    Because a shard's global row ids are a contiguous range, its rows
+    occupy a contiguous slice of each merged row list; the slice is cut
+    out with two bisects, keeping the remaining lists ascending.  Groups
+    emptied by the retraction are pruned (and ``sorted_values`` shrinks
+    with them), so the result is indistinguishable from a merge that
+    never saw the shard.
+    """
+    groups = merged.groups
+    values_changed = False
+    for lhs_value, by_rhs in shard_groups.items():
+        merged_rhs = groups[lhs_value]
+        for rhs_value, rows in by_rhs.items():
+            existing = merged_rhs[rhs_value]
+            lo = bisect_left(existing, rows[0])
+            hi = bisect_right(existing, rows[-1], lo=lo)
+            del existing[lo:hi]
+            if not existing:
+                del merged_rhs[rhs_value]
+        if not merged_rhs:
+            del groups[lhs_value]
+            values_changed = True
+    if values_changed:
+        merged.sorted_values = sorted(groups)
+
+
+def merge_into_pair_groups(
+    merged: "MergedPairGroups", shard_groups: PairGroups
+) -> None:
+    """Insert one shard's contribution into a merged statistic, in place.
+
+    The inverse of :func:`unmerge_pair_groups`: each row list lands as a
+    contiguous slice at its bisected position (the shard's global-id
+    range is disjoint from every other shard's), so row lists stay
+    ascending and ``unmerge → merge_into`` round-trips to an equal
+    statistic.  New distinct LHS values re-sort ``sorted_values``.
+    """
+    groups = merged.groups
+    values_changed = False
+    for lhs_value, by_rhs in shard_groups.items():
+        merged_rhs = groups.get(lhs_value)
+        if merged_rhs is None:
+            groups[lhs_value] = {
+                rhs_value: row_ids(rows) for rhs_value, rows in by_rhs.items()
+            }
+            values_changed = True
+            continue
+        for rhs_value, rows in by_rhs.items():
+            existing = merged_rhs.get(rhs_value)
+            if existing is None:
+                merged_rhs[rhs_value] = row_ids(rows)
+            else:
+                position = bisect_left(existing, rows[0])
+                existing[position:position] = row_ids(rows)
+    if values_changed:
+        merged.sorted_values = sorted(groups)
+
+
+def splice_tokenization(
+    merged: ColumnTokenization,
+    start_row: int,
+    old_rows: int,
+    new_row_tokens: Sequence[Tuple[Tuple[str, int, str], ...]],
+) -> ColumnTokenization:
+    """Replace one shard's row range of a merged tokenization, in place.
+
+    The tokenization analogue of unmerge + merge_into: rows
+    ``[start_row, start_row + old_rows)`` — one shard's contribution,
+    which concatenation placed exactly there — are retracted and the
+    replacement shard's rows are spliced in.  Rows are tokenized
+    independently, so the result equals re-extracting the whole column
+    with the new shard contents.  Returns ``merged`` for chaining.
+    """
+    merged.row_tokens[start_row : start_row + old_rows] = list(new_row_tokens)
+    return merged
 
 
 class MergedPairGroups:

@@ -184,6 +184,22 @@ class TestShardRows:
         assert strip_timing(capsys.readouterr().out) == strip_timing(monolithic)
 
 
+class TestRuleMaintenanceFlag:
+    """--rule-maintenance: how a re-check refreshes the rule set."""
+
+    def test_flag_parses_and_defaults_to_auto(self):
+        for command in ("profile", "discover", "detect"):
+            args = build_parser().parse_args([command])
+            assert args.rule_maintenance == "auto"
+            for choice in ("auto", "incremental", "full"):
+                args = build_parser().parse_args(
+                    [command, "--rule-maintenance", choice]
+                )
+                assert args.rule_maintenance == choice
+        with pytest.raises(SystemExit):  # argparse usage error, exit 2
+            build_parser().parse_args(["detect", "--rule-maintenance", "eager"])
+
+
 class TestStoreFlags:
     """--store / --spill-dir: out-of-core uploads from the CLI."""
 

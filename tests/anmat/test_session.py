@@ -547,3 +547,48 @@ class TestSessionLifecycle:
         session.close()
         with pytest.raises(ProjectError):
             session.run_profiling()
+
+
+class TestRecheckShardSize:
+    """Regression: a re-check after edits must inherit the upload's
+    custom shard size instead of silently re-sharding at the default —
+    a repartition would both change the plan shape and defeat the rule
+    maintainer (whose baseline versions only align on the same shards)."""
+
+    def _custom_sharded_session(self, small_zip_city_state, shard_rows=50):
+        from repro.sharding import ShardedTable
+
+        sharded = ShardedTable.from_table(small_zip_city_state.table, shard_rows)
+        session = AnmatSession(dataset_name="custom-shards")
+        session.set_parameters(min_coverage=0.5)
+        session.load_table(sharded)
+        return session, sharded.n_shards
+
+    def test_recheck_keeps_the_uploads_shard_size(self, small_zip_city_state):
+        session, n_shards = self._custom_sharded_session(small_zip_city_state)
+        session.run_discovery()
+        assert session.last_plan.shard_rows == 50
+        session.table.set_cell(3, "city", "Mutated")
+        session.recheck()
+        plan = session.last_plan
+        assert plan.shard_rows == 50, (
+            "recheck re-sharded at a different size than the upload"
+        )
+        assert plan.n_shards == n_shards
+        assert any("shard size of 50 rows" in d for d in plan.decisions)
+        # and because the partition matched, maintenance ran incrementally
+        assert plan.rule_maintenance == "incremental"
+        assert session._source.sharded_view(plan.shard_rows).n_shards == n_shards
+        session.close()
+
+    def test_recheck_after_edit_loop_keeps_shard_size(self, small_zip_city_state):
+        session, n_shards = self._custom_sharded_session(small_zip_city_state)
+        session.run_discovery()
+        session.confirm_all()
+        session.run_detection()
+        session.edit_cell(7, "city", "Springfield")
+        session.recheck()
+        assert session.last_plan.shard_rows == 50
+        assert session.last_plan.n_shards == n_shards
+        assert session.state is SessionState.DETECTED
+        session.close()

@@ -202,3 +202,63 @@ class TestValidationAndShape:
     def test_describe_monolithic_mentions_strategy(self):
         plan = plan_detection(100, config(), strategy="scan")
         assert "strategy=scan" in plan.describe()
+
+
+class TestRuleMaintenanceResolution:
+    """A re-check plan resolves ``config.rule_maintenance`` into the
+    plan's ``rule_maintenance`` field; ordinary discovery plans stay at
+    ``"none"``."""
+
+    def test_non_recheck_plans_record_none(self):
+        assert plan_discovery(100, config()).rule_maintenance == "none"
+        assert (
+            plan_discovery(100, config(shard_rows=10)).rule_maintenance == "none"
+        )
+        assert plan_detection(100, config()).rule_maintenance == "none"
+
+    def test_seeded_sharded_recheck_is_incremental(self):
+        plan = plan_discovery(
+            100, config(shard_rows=10), recheck=True, maintainable=True
+        )
+        assert plan.rule_maintenance == "incremental"
+        assert any("maintains the rule set" in d for d in plan.decisions)
+        assert "rule_maintenance=incremental" in plan.describe()
+
+    def test_unseeded_recheck_falls_back_quietly_under_auto(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanWarning)
+            plan = plan_discovery(
+                100, config(shard_rows=10), recheck=True, maintainable=False
+            )
+        assert plan.rule_maintenance == "full"
+
+    def test_monolithic_recheck_falls_back_quietly_under_auto(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlanWarning)
+            plan = plan_discovery(100, config(), recheck=True, maintainable=True)
+        assert plan.rule_maintenance == "full"
+
+    def test_requested_incremental_warns_when_it_cannot_run(self):
+        cfg = DiscoveryConfig(rule_maintenance="incremental")
+        with pytest.warns(PlanWarning, match="sharded backend"):
+            plan = plan_discovery(100, cfg, recheck=True, maintainable=True)
+        assert plan.rule_maintenance == "full"
+        cfg = DiscoveryConfig(shard_rows=10, rule_maintenance="incremental")
+        with pytest.warns(PlanWarning, match="baseline"):
+            plan = plan_discovery(100, cfg, recheck=True, maintainable=False)
+        assert plan.rule_maintenance == "full"
+
+    def test_requested_full_always_wins(self):
+        cfg = DiscoveryConfig(shard_rows=10, rule_maintenance="full")
+        plan = plan_discovery(100, cfg, recheck=True, maintainable=True)
+        assert plan.rule_maintenance == "full"
+        assert any("re-discovers" in d for d in plan.decisions)
+
+    def test_describe_omits_none(self):
+        assert "rule_maintenance" not in plan_discovery(100, config()).describe()
+
+    def test_config_validates_the_knob(self):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError, match="rule_maintenance"):
+            DiscoveryConfig(rule_maintenance="sometimes")

@@ -230,9 +230,13 @@ class TestAsSharded:
         # artifacts built over them are reused
         assert before[1:] == overlay.base.versions()[1:]
         assert before[0] != overlay.base.versions()[0]
-        # a further edit shifts the touched shard's key
+        # a seal is a snapshot: a further edit never reaches it...
         overlay.set_cell(0, "code", "B")
-        after = sealed.store.versions()
+        assert sealed.store.versions() == before
+        assert sealed.store.get(0).cell(0, "code") == "A"
+        # ...the *next* seal disagrees exactly on the touched shard,
+        # which is what dirty-shard diffing relies on
+        after = overlay.as_sharded().store.versions()
         assert after[0] != before[0]
         assert after[1:] == before[1:]
 
