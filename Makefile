@@ -1,13 +1,24 @@
 # Development entry points.  `make check` is the pre-merge gate: the
 # tier-1 test suite (which includes the rule-maintenance and sharding
-# differential gates), the persisted-benchmark perf smoke gate, and the
+# differential gates), the fault-injection differential subset, the
+# persisted-benchmark perf smoke gate, and the
 # discovery/detection/sharding line-coverage gate.
 
 PYTHON ?= python
 
-.PHONY: check test perf-gate coverage bench bench-suite
+.PHONY: check test fault-differential perf-gate coverage bench bench-suite
 
-check: test perf-gate coverage
+check: test fault-differential perf-gate coverage
+
+# The remote object-client gate: unit tests for the retry policy, HTTP
+# client and fault injector, plus the differential harness run through
+# the fault-injected HTTP client (identical rules and violations under
+# injected faults, zero leaked objects after session close).  A subset
+# of `test`, kept addressable on its own for quick iteration on the
+# remote layer.
+fault-differential:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/sharding/test_remote.py tests/sharding/test_remote_differential.py
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q

@@ -365,6 +365,72 @@ def _memory_out_of_core(
     }
 
 
+def _remote_object_faults(
+    n_rows: int = 64_000, shard_rows: int = 8_000, fault_rate: float = 0.05
+) -> Dict[str, float]:
+    """Sharded detection with every shard behind the fault-injected
+    remote HTTP client, vs the same run over clean in-memory shards.
+
+    A paired *remote* bench: the baseline reading is the clean in-memory
+    sharded detection, the measurement is the identical workload with
+    shard bytes crossing a loopback HTTP object server through a
+    :class:`FaultInjectingClient` firing at ``fault_rate`` — so the
+    recorded ratio prices the transport plus the retry/backoff healing.
+    Recorded under ``payload["remote"]`` as seconds, a ratio, and the
+    fault/retry counters — not under ``speedup``, because remote I/O
+    under faults is an overhead to bound, not a win to gate upward.
+    """
+    from repro.sharding import (
+        FaultInjectingClient,
+        HttpObjectClient,
+        ObjectShardStore,
+        RetryPolicy,
+    )
+    from repro.sharding.devserver import ObjectHTTPServer
+
+    table = generate_zip_city_state(n_rows=n_rows, seed=23).table
+    pfds = PfdDiscoverer().discover(table)
+    assert pfds, "remote-faults setup discovered no PFDs"
+
+    clean_sharded = ShardedTable.from_table(table, shard_rows)
+    _clear_shared_caches()
+    started = time.perf_counter()
+    clean_report = ShardedDetector(clean_sharded).detect_all(pfds)
+    clean_seconds = time.perf_counter() - started
+
+    with ObjectHTTPServer() as server:
+        client = FaultInjectingClient(
+            HttpObjectClient(server.url), seed=23, fault_rate=fault_rate
+        )
+        store = ObjectShardStore(
+            client=client,
+            owns_client=True,
+            prefix="bench",
+            cache_shards=2,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.0),
+        )
+        sharded = ShardedTable.from_table(table, shard_rows, store=store)
+        _clear_shared_caches()
+        started = time.perf_counter()
+        report = ShardedDetector(sharded).detect_all(pfds)
+        seconds = time.perf_counter() - started
+        assert (
+            report.canonical_violations() == clean_report.canonical_violations()
+        ), "faulted remote detection diverged from the clean run"
+        readings = {
+            "seconds": round(seconds, 6),
+            "clean_seconds": round(clean_seconds, 6),
+            "overhead_ratio": round(seconds / clean_seconds, 4),
+            "rows_per_s": round(n_rows / seconds, 1),
+            "fault_rate": fault_rate,
+            "faults_injected": client.total_faults,
+            "retried_reads": store.retried_reads,
+            "retried_puts": store.retried_puts,
+        }
+        store.close()
+    return readings
+
+
 #: bench name → zero-argument setup returning (workload, default rounds)
 #: or (workload, default rounds, baseline workload) — the third element
 #: is measured and recorded under ``baseline`` whenever the bench has no
@@ -420,6 +486,20 @@ MEMORY_RATIO_CEILINGS = {
     "out_of_core_256000": 0.40,
 }
 
+#: remote bench name → one-shot workload returning its readings
+REMOTE_BENCHES: Dict[str, Callable[[], Dict[str, float]]] = {
+    "remote_object_faults_64000": _remote_object_faults,
+}
+
+#: --check ceilings on recorded remote overhead ratios: detection with
+#: shard bytes crossing the loopback HTTP store under a 5% fault rate
+#: must stay under this multiple of the clean in-memory sharded run —
+#: and must actually have healed injected faults (retries > 0), or the
+#: bench measured nothing
+REMOTE_OVERHEAD_CEILINGS = {
+    "remote_object_faults_64000": 3.0,
+}
+
 
 def measure(run: Callable[[], object], rounds: int, cold: bool) -> float:
     """Best-of-``rounds`` wall-clock seconds for one workload."""
@@ -469,6 +549,23 @@ def check_recorded_speedups(output: Path) -> int:
         )
         if verdict != "ok":
             regressed.append(name)
+    remote: Dict[str, Dict[str, float]] = payload.get("remote", {})
+    for name, ceiling in sorted(REMOTE_OVERHEAD_CEILINGS.items()):
+        entry = remote.get(name)
+        if entry is None:
+            print(f"--check FAILED: remote bench {name!r} not recorded")
+            return 1
+        ratio = entry.get("overhead_ratio")
+        healed = entry.get("retried_reads", 0) + entry.get("retried_puts", 0)
+        ok = ratio is not None and ratio < ceiling and healed > 0
+        verdict = "ok" if ok else "REGRESSED"
+        print(
+            f"{name:32s} {ratio:8.3f}   (remote overhead, ceiling {ceiling:.2f}, "
+            f"{entry.get('faults_injected', 0)} faults healed via {healed} retries)  "
+            f"{verdict}"
+        )
+        if not ok:
+            regressed.append(name)
     if regressed:
         print(
             f"\n--check FAILED: {len(regressed)} bench(es) out of bounds: {regressed}"
@@ -476,7 +573,9 @@ def check_recorded_speedups(output: Path) -> int:
         return 1
     print(
         f"\n--check ok: all {len(speedups)} recorded speedups at or above their "
-        f"floors, {len(MEMORY_RATIO_CEILINGS)} memory ratio(s) under their ceilings"
+        f"floors, {len(MEMORY_RATIO_CEILINGS)} memory ratio(s) and "
+        f"{len(REMOTE_OVERHEAD_CEILINGS)} remote overhead ratio(s) under their "
+        "ceilings"
     )
     return 0
 
@@ -510,13 +609,11 @@ def main(argv: List[str] | None = None) -> int:
     if args.check:
         return check_recorded_speedups(args.output)
 
-    names = args.only or list(BENCHES) + list(MEMORY_BENCHES)
-    unknown = [n for n in names if n not in BENCHES and n not in MEMORY_BENCHES]
+    known = list(BENCHES) + list(MEMORY_BENCHES) + list(REMOTE_BENCHES)
+    names = args.only or known
+    unknown = [n for n in names if n not in known]
     if unknown:
-        parser.error(
-            f"unknown bench names: {unknown}; "
-            f"known: {list(BENCHES) + list(MEMORY_BENCHES)}"
-        )
+        parser.error(f"unknown bench names: {unknown}; known: {known}")
 
     previous: Dict[str, object] = {}
     if args.output.exists():
@@ -524,6 +621,7 @@ def main(argv: List[str] | None = None) -> int:
     baseline: Dict[str, float] = dict(previous.get("baseline", {}))
     current: Dict[str, float] = dict(previous.get("current", {}))
     memory: Dict[str, Dict[str, float]] = dict(previous.get("memory", {}))
+    remote: Dict[str, Dict[str, float]] = dict(previous.get("remote", {}))
 
     for name in (n for n in names if n in BENCHES):
         setup = BENCHES[name]()
@@ -555,6 +653,17 @@ def main(argv: List[str] | None = None) -> int:
             f"materialized footprint)"
         )
 
+    for name in (n for n in names if n in REMOTE_BENCHES):
+        readings = REMOTE_BENCHES[name]()
+        remote[name] = readings
+        print(
+            f"{name:32s} {readings['seconds'] * 1000:10.2f} ms  "
+            f"({readings['overhead_ratio']:.3f}x the clean in-memory run; "
+            f"{readings['faults_injected']} faults at rate "
+            f"{readings['fault_rate']}, healed via {readings['retried_reads']} "
+            f"read + {readings['retried_puts']} put retries)"
+        )
+
     payload = {
         "_meta": {
             "python": platform.python_version(),
@@ -571,12 +680,17 @@ def main(argv: List[str] | None = None) -> int:
                 "the engine / scalar kernels-off sharded discovery / full "
                 "re-discovery per edit batch); 'memory' "
                 "records tracemalloc peaks of the out-of-core session vs the "
-                "materialized-table footprint (a bytes ratio, not a speedup)"
+                "materialized-table footprint (a bytes ratio, not a speedup); "
+                "'remote' records sharded detection with shard bytes behind "
+                "the fault-injected loopback HTTP object client vs the clean "
+                "in-memory sharded run (an overhead ratio to bound, plus the "
+                "fault/retry counters)"
             ),
         },
         "baseline": baseline,
         "current": current,
         "memory": memory,
+        "remote": remote,
         "speedup": {
             name: round(baseline[name] / current[name], 3)
             for name in current

@@ -48,20 +48,29 @@ def _load_table(args: argparse.Namespace):
     shard_rows = getattr(args, "shard_rows", 0)
     store_kind = getattr(args, "store", "memory")
     spill_dir = getattr(args, "spill_dir", None)
+    object_url = getattr(args, "object_url", None)
     if store_kind != "memory" and shard_rows <= 0:
         shard_rows = DEFAULT_SHARD_ROWS
     if args.csv:
         if shard_rows > 0:
-            store = make_shard_store(store_kind, spill_dir)
-            sharded = read_csv_sharded(Path(args.csv), shard_rows, store=store)
+            store = make_shard_store(store_kind, spill_dir, object_url=object_url)
+            try:
+                sharded = read_csv_sharded(Path(args.csv), shard_rows, store=store)
+            except BaseException:
+                store.close()  # don't leak the store root on a bad CSV
+                raise
             return sharded, None, Path(args.csv).stem
         return read_csv(Path(args.csv)), None, Path(args.csv).stem
     dataset = build_dataset(args.dataset)
     if store_kind != "memory":
         # built-in datasets are generated in memory; re-shard them into
         # the requested store so the session still runs out of core
-        store = make_shard_store(store_kind, spill_dir)
-        sharded = ShardedTable.from_table(dataset.table, shard_rows, store=store)
+        store = make_shard_store(store_kind, spill_dir, object_url=object_url)
+        try:
+            sharded = ShardedTable.from_table(dataset.table, shard_rows, store=store)
+        except BaseException:
+            store.close()
+            raise
         return sharded, dataset.error_cells, dataset.name
     return dataset.table, dataset.error_cells, dataset.name
 
@@ -75,6 +84,7 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         use_kernels=getattr(args, "use_kernels", "auto"),
         store=getattr(args, "store", "memory"),
         spill_dir=getattr(args, "spill_dir", None),
+        object_url=getattr(args, "object_url", None),
         rule_maintenance=getattr(args, "rule_maintenance", "auto"),
     )
     session = AnmatSession(dataset_name=label, config=config)
@@ -160,6 +170,19 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "directory for the 'spill' and 'object' stores (default: a "
             "temporary directory cleaned up when the store closes)"
+        ),
+    )
+    parser.add_argument(
+        "--object-url",
+        default=None,
+        metavar="URL",
+        help=(
+            "base http(s):// URL of a remote object store for --store "
+            "object: shard bytes move over S3-compatible-style "
+            "PUT/GET/DELETE with sha256 checksums and bounded "
+            "retry/backoff; the default (no URL) keeps objects on the "
+            "local filesystem; the execution plan records which client "
+            "serves the run"
         ),
     )
     parser.add_argument(

@@ -166,14 +166,31 @@ class AnmatSession:
         ``config.shard_rows``, then to the engine default; extra keyword
         arguments reach the CSV reader (``delimiter``, ``header``,
         ``column_names``, ...).
+
+        The upload adopts the store either way: on success the session's
+        :meth:`close` releases it, and when the upload *fails* partway —
+        a malformed CSV, an object put that exhausts its retries — the
+        store is closed before the error surfaces, so spill directories
+        and object roots never leak off the error path (with or without
+        the session used as a context manager).
         """
         if shard_rows <= 0:
             shard_rows = self.config.shard_rows or DEFAULT_SHARD_ROWS
         if store is None:
-            store = make_shard_store(self.config.store, self.config.spill_dir)
-        sharded = ShardedTable.from_chunks(
-            iter_csv_chunks(path, shard_rows, **csv_kwargs), store=store
-        )
+            store = make_shard_store(
+                self.config.store,
+                self.config.spill_dir,
+                object_url=self.config.object_url,
+            )
+        try:
+            sharded = ShardedTable.from_chunks(
+                iter_csv_chunks(path, shard_rows, **csv_kwargs), store=store
+            )
+        except BaseException:
+            # the half-filled store is unusable; release it now rather
+            # than leaking its root until interpreter exit
+            store.close()
+            raise
         return self.load_table(sharded)
 
     def set_parameters(

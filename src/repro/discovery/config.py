@@ -81,6 +81,16 @@ class DiscoveryConfig:
         Root directory for the ``spill``/``object`` stores.  ``None``
         uses a private temporary directory removed when the session (or
         store) is closed.
+    object_url:
+        Base URL of a remote object store for the ``object`` backend.
+        ``None`` (the default) keeps objects on the local filesystem
+        through :class:`~repro.sharding.object_store.LocalObjectClient`;
+        an ``http(s)://`` URL routes shard bytes through the remote
+        :class:`~repro.sharding.remote.HttpObjectClient` instead
+        (S3-compatible-style PUT/GET/DELETE with checksummed,
+        retry-protected transfers).  The execution plan records which
+        client kind serves the run.  Ignored unless ``store`` is
+        ``"object"``.
     rule_maintenance:
         How a session re-check after edits refreshes the rule set.
         ``"auto"`` (the default) maintains the rules incrementally
@@ -111,6 +121,7 @@ class DiscoveryConfig:
     use_kernels: str = "auto"
     store: str = "memory"
     spill_dir: Optional[str] = None
+    object_url: Optional[str] = None
     rule_maintenance: str = "auto"
 
     def __post_init__(self) -> None:
@@ -140,6 +151,12 @@ class DiscoveryConfig:
         if self.store not in ("memory", "spill", "object"):
             raise DiscoveryError(
                 f"store must be 'memory', 'spill' or 'object', got {self.store!r}"
+            )
+        if self.object_url is not None and not self.object_url.startswith(
+            ("http://", "https://")
+        ):
+            raise DiscoveryError(
+                f"object_url must be an http(s):// URL, got {self.object_url!r}"
             )
         if self.rule_maintenance not in ("auto", "incremental", "full"):
             raise DiscoveryError(

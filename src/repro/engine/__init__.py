@@ -43,6 +43,11 @@ from repro.engine.plan import (
 from repro.engine.pool import make_shard_map, process_map, serial_map
 from repro.sharding.object_store import LocalObjectClient, ObjectShardStore
 from repro.sharding.overlay import ShardOverlay
+from repro.sharding.remote import (
+    FaultInjectingClient,
+    HttpObjectClient,
+    RetryPolicy,
+)
 from repro.sharding.store import (
     STORE_KINDS,
     InMemoryShardStore,
@@ -58,9 +63,12 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionPlan",
     "Executor",
+    "FaultInjectingClient",
+    "HttpObjectClient",
     "InMemoryShardStore",
     "LocalObjectClient",
     "ObjectShardStore",
+    "RetryPolicy",
     "ParallelExecutor",
     "PlanWarning",
     "REQUESTABLE_EXECUTORS",

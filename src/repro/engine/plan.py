@@ -89,6 +89,10 @@ class ExecutionPlan:
     #: the shard store backend the upload streams through (``"memory"``,
     #: ``"spill"`` or ``"object"``; meaningful for sharded uploads)
     store: str = "memory"
+    #: which client serves the ``object`` store: ``"local"`` for the
+    #: filesystem client, ``"http"`` for the remote client at
+    #: ``config.object_url``, ``"none"`` for the other stores
+    object_client: str = "none"
     #: the executor the caller asked for (``"auto"`` or a backend name)
     requested_executor: str = "auto"
     #: how a re-check refreshes the rule set: ``"incremental"`` routes
@@ -103,6 +107,8 @@ class ExecutionPlan:
         indented line per recorded decision."""
         if self.backend == ExecutionBackend.SHARDED:
             shape = f"shards={self.n_shards}x{self.shard_rows} store={self.store}"
+            if self.object_client != "none":
+                shape += f"[{self.object_client}]"
         else:
             shape = f"strategy={self.strategy}"
         maintenance = (
@@ -297,6 +303,19 @@ def plan_run(
                 "the sharded upload into one monolithic table"
             )
 
+    # -- object store client -------------------------------------------------
+    # Which client serves the shard objects is a real routing decision —
+    # shard bytes either stay on the local filesystem or cross the
+    # network to config.object_url — so the plan records it explicitly.
+    object_client = "none"
+    if config.store == "object" and backend == ExecutionBackend.SHARDED:
+        object_client = "http" if config.object_url else "local"
+        decisions.append(
+            f"shard objects go through the remote HTTP client at {config.object_url}"
+            if config.object_url
+            else "shard objects stay on the local filesystem client"
+        )
+
     # -- rule maintenance ----------------------------------------------------
     # Only a re-check maintains; a first discovery has nothing to maintain.
     # Incremental maintenance additionally needs the sharded backend (the
@@ -343,6 +362,7 @@ def plan_run(
         use_kernels=use_kernels,
         materialization=materialization,
         store=config.store,
+        object_client=object_client,
         requested_executor=executor,
         rule_maintenance=rule_maintenance,
         decisions=decisions,

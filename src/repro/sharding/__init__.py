@@ -16,6 +16,13 @@ from repro.sharding.object_store import (
     ObjectShardStore,
     ObjectStoreError,
 )
+from repro.sharding.remote import (
+    FAULT_KINDS,
+    FaultInjectingClient,
+    HttpObjectClient,
+    ObjectChecksumError,
+    RetryPolicy,
+)
 from repro.sharding.overlay import OverlayShardStore, ShardOverlay
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import (
@@ -49,6 +56,11 @@ __all__ = [
     "LocalObjectClient",
     "ObjectShardStore",
     "ObjectStoreError",
+    "ObjectChecksumError",
+    "FAULT_KINDS",
+    "FaultInjectingClient",
+    "HttpObjectClient",
+    "RetryPolicy",
     "MergedPairGroups",
     "extract_pair_groups",
     "merge_pair_groups",

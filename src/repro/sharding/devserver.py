@@ -1,0 +1,177 @@
+"""An in-process object server for tests and benches — no network needed.
+
+:class:`ObjectHTTPServer` is a standard-library ``http.server`` speaking
+the minimal blob protocol :class:`~repro.sharding.remote.HttpObjectClient`
+expects:
+
+* ``PUT /{key}`` stores the request body under ``key`` (``201``);
+* ``GET /{key}`` returns the bytes (``200``), honouring an HTTP
+  ``Range: bytes=a-b`` header with a ``206`` partial response;
+* ``DELETE /{key}`` removes the object (``204``, also for absent keys);
+* ``GET /?prefix=...`` lists matching keys as newline-separated text.
+
+Everything lives in one in-memory dict guarded by a lock, served from a
+daemon thread on a loopback ephemeral port — CI never touches a real
+network.  ``fail_next_with(status, n)`` arms the server to answer the
+next ``n`` requests with an HTTP error, for exercising the client's
+transient-failure classification against a *real* HTTP response (the
+richer fault vocabulary lives client-side in
+:class:`~repro.sharding.remote.FaultInjectingClient`).
+"""
+
+from __future__ import annotations
+
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+
+class _ObjectRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *_args) -> None:  # keep test output clean
+        pass
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _key(self) -> str:
+        return urllib.parse.unquote(urllib.parse.urlsplit(self.path).path.lstrip("/"))
+
+    def _reply(self, status: int, body: bytes = b"", headers: Optional[dict] = None):
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _forced_failure(self) -> bool:
+        status = self.server.take_forced_failure()
+        if status is None:
+            return False
+        self._reply(status, b"injected server failure")
+        return True
+
+    # -- the blob protocol --------------------------------------------------------
+
+    def do_PUT(self) -> None:
+        if self._forced_failure():
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length)
+        with self.server.lock:
+            self.server.objects[self._key()] = body
+        self._reply(201)
+
+    def do_GET(self) -> None:
+        if self._forced_failure():
+            return
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path in ("", "/"):
+            prefix = urllib.parse.parse_qs(parsed.query).get("prefix", [""])[0]
+            with self.server.lock:
+                keys = sorted(k for k in self.server.objects if k.startswith(prefix))
+            self._reply(
+                200, "\n".join(keys).encode("utf-8"), {"Content-Type": "text/plain"}
+            )
+            return
+        with self.server.lock:
+            data = self.server.objects.get(self._key())
+        if data is None:
+            self._reply(404, b"no such object")
+            return
+        range_header = self.headers.get("Range")
+        if range_header and range_header.startswith("bytes="):
+            start_text, _, end_text = range_header[len("bytes=") :].partition("-")
+            start = int(start_text)
+            end = int(end_text) if end_text else len(data) - 1
+            chunk = data[start : end + 1]
+            self._reply(
+                206,
+                chunk,
+                {"Content-Range": f"bytes {start}-{start + len(chunk) - 1}/{len(data)}"},
+            )
+            return
+        self._reply(200, data)
+
+    def do_DELETE(self) -> None:
+        if self._forced_failure():
+            return
+        with self.server.lock:
+            self.server.objects.pop(self._key(), None)
+        self._reply(204)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, address):
+        super().__init__(address, _ObjectRequestHandler)
+        self.objects: Dict[str, bytes] = {}
+        self.lock = threading.Lock()
+        self._forced_failures: list = []
+
+    def take_forced_failure(self) -> Optional[int]:
+        with self.lock:
+            if self._forced_failures:
+                return self._forced_failures.pop(0)
+        return None
+
+
+class ObjectHTTPServer:
+    """Lifecycle wrapper: ``with ObjectHTTPServer() as server:`` yields a
+    running loopback server whose base URL is ``server.url``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._address = (host, port)
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("the object server is not running; call start()")
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    @property
+    def objects(self) -> Dict[str, bytes]:
+        """The live object dict (read under the server's lock in handlers;
+        tests may inspect it directly between requests)."""
+        if self._server is None:
+            raise RuntimeError("the object server is not running; call start()")
+        return self._server.objects
+
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    def fail_next_with(self, status: int, n: int = 1) -> None:
+        """Answer the next ``n`` requests with the given HTTP status."""
+        with self._server.lock:
+            self._server._forced_failures.extend([status] * n)
+
+    def start(self) -> "ObjectHTTPServer":
+        if self._server is not None:
+            return self
+        self._server = _Server(self._address)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="object-http-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ObjectHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()

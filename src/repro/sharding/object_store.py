@@ -1,20 +1,30 @@
 """An object-store-style :class:`~repro.sharding.store.ShardStore` backend.
 
 Shards are serialized to CSV *objects* addressed by string keys through a
-minimal get/put/list client API — the shape of S3-alike blob stores — so
-the only thing a remote backend needs to provide later is another
-:class:`ObjectClient`.  The client shipped today,
-:class:`LocalObjectClient`, keeps objects as files under a local root.
+minimal get/put/list/delete client API — the shape of S3-alike blob
+stores.  Two clients ship today: :class:`LocalObjectClient` keeps objects
+as files under a local root, and
+:class:`~repro.sharding.remote.HttpObjectClient` speaks the same
+contract over HTTP (S3-compatible-style PUT/GET/DELETE plus Range
+reads).
 
-On top of the raw byte transport the store adds the two things a remote
+On top of the raw byte transport the store adds the things a remote
 medium needs that local spill files do not:
 
 * **checksums** — every object is written alongside its SHA-256 digest
   and verified on read, so a torn or bit-rotted object is an error, not
-  silently wrong data;
-* **read retries** — a failed read (checksum mismatch or client error)
-  is retried a bounded number of times before surfacing, the standard
-  posture against transiently inconsistent object reads.
+  silently wrong data; a mismatch raises
+  :class:`~repro.sharding.remote.ObjectChecksumError` carrying the
+  object key and both digests.
+* **retries** — reads *and writes* go through one shared
+  :class:`~repro.sharding.remote.RetryPolicy` (bounded attempts,
+  exponential backoff with seeded jitter, idempotent operations only —
+  which every full-object put/get/delete is), so a transiently failing
+  put no longer loses the shard and poisons the upload.
+* **cleanup on error paths** — a put that exhausts its retries deletes
+  the possibly-partial object before surfacing, and :meth:`close`
+  releases the object root (and, for stores that own their remote
+  namespace, the uploaded objects) even when called off an error path.
 
 Like :class:`~repro.sharding.store.SpillToDiskShardStore`, re-parsed
 cell strings are interned per store and a small LRU bounds how many
@@ -26,6 +36,7 @@ from __future__ import annotations
 import csv
 import hashlib
 import io
+import shutil
 import tempfile
 from collections import OrderedDict
 from pathlib import Path
@@ -34,20 +45,34 @@ from typing import List, Optional, Tuple, Union
 from repro.dataset.table import Table
 from repro.errors import TableError
 from repro.perf.interning import InternPool
+from repro.sharding.remote import (
+    FaultInjectingClient,
+    HttpObjectClient,
+    ObjectChecksumError,
+    ObjectStoreError,
+    RetryPolicy,
+    validate_key,
+)
 from repro.sharding.store import ShardStore
 
-
-class ObjectStoreError(TableError):
-    """A get/put/list operation against the object client failed."""
+__all__ = [
+    "LocalObjectClient",
+    "ObjectShardStore",
+    "ObjectStoreError",
+    "ObjectChecksumError",
+    "FaultInjectingClient",
+    "HttpObjectClient",
+    "RetryPolicy",
+]
 
 
 class LocalObjectClient:
     """Filesystem-backed object client: keys are paths under one root.
 
     The API is deliberately the minimal blob-store surface —
-    ``put(key, data)``, ``get(key)``, ``list(prefix)``,
-    ``delete(key)`` — so swapping in a remote client later is a
-    drop-in.
+    ``put(key, data)``, ``get(key)``, ``get_range(key, start, length)``,
+    ``list(prefix)``, ``delete(key)`` — so the remote
+    :class:`~repro.sharding.remote.HttpObjectClient` is a drop-in.
     """
 
     def __init__(self, root: Union[str, Path, None] = None):
@@ -59,21 +84,29 @@ class LocalObjectClient:
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, key: str) -> Path:
-        if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
-            raise ObjectStoreError(f"invalid object key {key!r}")
-        return self.root / key
+        return self.root / validate_key(key)
 
     def put(self, key: str, data: bytes) -> None:
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(data)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(data)
+        except OSError as exc:
+            raise ObjectStoreError(
+                f"object {key!r} could not be written: {exc}", key=key
+            ) from exc
 
     def get(self, key: str) -> bytes:
         path = self._path(key)
         try:
             return path.read_bytes()
         except OSError as exc:
-            raise ObjectStoreError(f"object {key!r} could not be read: {exc}") from exc
+            raise ObjectStoreError(
+                f"object {key!r} could not be read: {exc}", key=key
+            ) from exc
+
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        return self.get(key)[start : start + length]
 
     def list(self, prefix: str = "") -> List[str]:
         keys = []
@@ -90,22 +123,36 @@ class LocalObjectClient:
             path.unlink()
         except FileNotFoundError:
             pass
+        except OSError as exc:
+            raise ObjectStoreError(
+                f"object {key!r} could not be deleted: {exc}", key=key
+            ) from exc
 
     def close(self) -> None:
+        """Remove the private temporary root (idempotent; never raises —
+        a cleanup failure on an error path must not mask the original
+        error, so stragglers are swept with ``ignore_errors``)."""
         if self._tmpdir is not None:
-            self._tmpdir.cleanup()
-            self._tmpdir = None
+            tmpdir, self._tmpdir = self._tmpdir, None
+            try:
+                tmpdir.cleanup()
+            except OSError:
+                shutil.rmtree(tmpdir.name, ignore_errors=True)
 
 
 class ObjectShardStore(ShardStore):
-    """Shards as checksummed CSV objects behind an :class:`ObjectClient`.
+    """Shards as checksummed CSV objects behind an object client.
 
     Parameters
     ----------
     client:
-        The object client to store shards through.  ``None`` builds a
-        :class:`LocalObjectClient` over ``root`` (itself defaulting to a
-        private temporary directory removed on :meth:`close`).
+        The object client to store shards through
+        (:class:`LocalObjectClient`,
+        :class:`~repro.sharding.remote.HttpObjectClient`, or a
+        :class:`~repro.sharding.remote.FaultInjectingClient` wrapper).
+        ``None`` builds a :class:`LocalObjectClient` over ``root``
+        (itself defaulting to a private temporary directory removed on
+        :meth:`close`).
     root:
         Local root for the default client; ignored when ``client`` is
         given.
@@ -114,34 +161,60 @@ class ObjectShardStore(ShardStore):
     cache_shards:
         How many recently read shards stay parsed in memory.
     max_read_attempts:
-        Total read attempts per shard before a corrupt/unreadable object
-        surfaces as a :class:`TableError`.
+        Shorthand for ``retry_policy=RetryPolicy(max_attempts=...)``;
+        ignored when an explicit ``retry_policy`` is given.
+    retry_policy:
+        The shared :class:`~repro.sharding.remote.RetryPolicy` both
+        reads and writes run under.
+    owns_client:
+        Whether :meth:`close` closes the client too.  Defaults to
+        owning exactly the client the store built itself; pass ``True``
+        when handing over a client the store should tear down.
+    delete_objects_on_close:
+        Whether :meth:`close` deletes this store's objects from the
+        client (best-effort).  Defaults to ``True`` for an owned
+        non-local client — a remote namespace has no temporary
+        directory whose removal would reclaim the bytes — and ``False``
+        otherwise.
     """
 
     def __init__(
         self,
-        client: Optional[LocalObjectClient] = None,
+        client=None,
         root: Union[str, Path, None] = None,
         prefix: str = "shards",
         cache_shards: int = 1,
         max_read_attempts: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        owns_client: Optional[bool] = None,
+        delete_objects_on_close: Optional[bool] = None,
     ):
         super().__init__()
         if cache_shards < 1:
             raise TableError(f"cache_shards must be >= 1, got {cache_shards}")
         if max_read_attempts < 1:
             raise TableError(f"max_read_attempts must be >= 1, got {max_read_attempts}")
-        self._owns_client = client is None
+        self._owns_client = (client is None) if owns_client is None else owns_client
         self.client = client if client is not None else LocalObjectClient(root)
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max_read_attempts)
+        )
+        if delete_objects_on_close is None:
+            delete_objects_on_close = self._owns_client and not isinstance(
+                self.client, LocalObjectClient
+            )
+        self._delete_objects_on_close = delete_objects_on_close
         self.prefix = prefix.rstrip("/")
         self._cache_shards = cache_shards
-        self._max_read_attempts = max_read_attempts
         #: per-shard (key, row count, version-at-append, sha256 hexdigest)
         self._meta: List[Tuple[str, int, int, str]] = []
         self._loaded: "OrderedDict[int, Table]" = OrderedDict()
         self._interned = InternPool()
-        #: read attempts beyond the first, for observability/tests
+        #: read/write attempts beyond the first, for observability/tests
         self.retried_reads = 0
+        self.retried_puts = 0
 
     # -- serialization -----------------------------------------------------------
 
@@ -188,7 +261,25 @@ class ObjectShardStore(ShardStore):
         key = self._key(len(self._meta))
         data = self._serialize(shard)
         digest = hashlib.sha256(data).hexdigest()
-        self.client.put(key, data)
+
+        def _count_put_retry(_exc: ObjectStoreError) -> None:
+            self.retried_puts += 1
+
+        try:
+            # a full-object put is idempotent (same key, same bytes), so
+            # a transient failure is retried instead of losing the shard
+            self.retry_policy.run(
+                lambda: self.client.put(key, data),
+                what=f"shard object {key} upload failed",
+                on_retry=_count_put_retry,
+            )
+        except ObjectStoreError:
+            # don't leave a possibly-partial object behind the store's back
+            try:
+                self.client.delete(key)
+            except ObjectStoreError:
+                pass
+            raise
         self._meta.append((key, shard.n_rows, shard.version, digest))
 
     def shard_row_counts(self) -> List[int]:
@@ -200,28 +291,22 @@ class ObjectShardStore(ShardStore):
             self._loaded.move_to_end(index)
             return cached
         key, n_rows, _version, digest = self._meta[index]
-        last_error: Optional[Exception] = None
-        data: Optional[bytes] = None
-        for attempt in range(self._max_read_attempts):
-            if attempt:
-                self.retried_reads += 1
-            try:
-                candidate = self.client.get(key)
-            except ObjectStoreError as exc:
-                last_error = exc
-                continue
-            if hashlib.sha256(candidate).hexdigest() != digest:
-                last_error = TableError(
-                    f"object {key} failed its checksum (expected sha256 {digest[:12]}…)"
-                )
-                continue
-            data = candidate
-            break
-        if data is None:
-            raise TableError(
-                f"shard object {key} unreadable after "
-                f"{self._max_read_attempts} attempts: {last_error}"
-            )
+
+        def _download() -> bytes:
+            data = self.client.get(key)
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != digest:
+                raise ObjectChecksumError(key, expected=digest, actual=actual)
+            return data
+
+        def _count_read_retry(_exc: ObjectStoreError) -> None:
+            self.retried_reads += 1
+
+        data = self.retry_policy.run(
+            _download,
+            what=f"shard object {key} unreadable",
+            on_retry=_count_read_retry,
+        )
         shard = self._parse(index, key, data, n_rows)
         self._loaded[index] = shard
         while len(self._loaded) > self._cache_shards:
@@ -233,7 +318,27 @@ class ObjectShardStore(ShardStore):
         return tuple(version for _key, _n_rows, version, _digest in self._meta)
 
     def close(self) -> None:
+        """Release everything the store holds: the shard LRU, the intern
+        pool, this dataset's objects (when the store owns its remote
+        namespace) and the client itself (when owned).  Safe to call off
+        an error path mid-upload — cleanup failures never mask the
+        original error — and idempotent."""
         self._loaded.clear()
         self._interned.clear()
-        if self._owns_client:
-            self.client.close()
+        try:
+            if self._delete_objects_on_close:
+                for key, _n_rows, _version, _digest in self._meta:
+                    try:
+                        # deletes are idempotent, so transient faults are
+                        # retried like any other operation — a flaky
+                        # backend must not leak the namespace
+                        self.retry_policy.run(
+                            lambda key=key: self.client.delete(key),
+                            what=f"shard object {key} cleanup failed",
+                        )
+                    except ObjectStoreError:
+                        pass  # best-effort: never raise out of close()
+                self._meta = []
+        finally:
+            if self._owns_client:
+                self.client.close()

@@ -1,0 +1,434 @@
+"""Remote object-store clients: HTTP transport, retries, fault injection.
+
+This module is the *client* layer under
+:class:`~repro.sharding.object_store.ObjectShardStore` — everything a
+shard needs to survive a real, unreliable network:
+
+* :class:`RetryPolicy` — the one retry loop in the system: bounded
+  attempts, exponential backoff with seeded jitter, and retries for
+  **idempotent operations only**.  The store routes both its reads and
+  its writes through it (full-object PUT/GET/DELETE are idempotent; a
+  non-idempotent operation fails on the first error).
+* :class:`HttpObjectClient` — an S3-compatible-style transport over the
+  standard library's ``urllib``: ``PUT``/``GET``/``DELETE`` per object
+  key, ``GET`` with a ``prefix`` query for listing, and HTTP ``Range``
+  reads for partial shard fetches.  Every transport failure — timeouts,
+  refused connections, 5xx responses — surfaces as an
+  :class:`ObjectStoreError` (never a raw socket/OS error), tagged
+  ``transient`` when a retry is worth attempting.
+* :class:`FaultInjectingClient` — a deterministic wrapper around any
+  client that injects drops, truncations, bit-flips, transient
+  5xx/timeout errors and slow reads, either at a seeded random rate or
+  from an explicit per-operation script.  The differential harness runs
+  the whole discovery/detection pipeline through it to prove the
+  retry/checksum machinery heals every injected fault.
+
+The error types live here (not in ``object_store``) so the clients do
+not import the store layer; ``object_store`` re-exports them for
+backward compatibility.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import TableError
+
+
+class ObjectStoreError(TableError):
+    """A put/get/list/delete operation against an object client failed.
+
+    Carries the context a remote failure needs to be diagnosable from
+    the message alone: the object ``key``, how many ``attempts`` were
+    made, and whether the failure looked ``transient`` (worth retrying).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        key: Optional[str] = None,
+        attempts: Optional[int] = None,
+        transient: bool = False,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.attempts = attempts
+        self.transient = transient
+
+
+class ObjectChecksumError(ObjectStoreError):
+    """An object's bytes do not match the digest recorded at append time."""
+
+    def __init__(self, key: str, expected: str, actual: str):
+        super().__init__(
+            f"object {key!r} failed its checksum "
+            f"(expected sha256 {expected[:12]}…, got {actual[:12]}…)",
+            key=key,
+            transient=True,  # torn reads / stale replicas heal on retry
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+def validate_key(key: str) -> str:
+    """Reject keys that could escape an object namespace (shared by every
+    client: empty keys, absolute paths, dot-segments, hidden roots)."""
+    if not key or key.startswith(("/", ".")) or ".." in key.split("/"):
+        raise ObjectStoreError(f"invalid object key {key!r}", key=key)
+    return key
+
+
+# -- retry policy -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per operation (``1`` disables retries).
+    base_delay:
+        Backoff before the second attempt, in seconds.  ``0`` retries
+        immediately (what the tests and benches use).
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Ceiling on any single backoff pause.
+    jitter:
+        Fraction of each pause randomized (``0.5`` → pause is uniform in
+        ``[delay, 1.5 * delay]``), decorrelating concurrent retriers.
+    seed:
+        Seeds the jitter so a replayed run backs off identically;
+        ``None`` uses nondeterministic jitter.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise TableError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise TableError("retry delays must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff pauses between attempts (``max_attempts - 1`` of
+        them), jittered deterministically when a ``seed`` is set."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            jittered = delay * (1.0 + self.jitter * rng.random()) if delay else 0.0
+            yield min(jittered, self.max_delay)
+            delay *= self.multiplier
+
+    def run(
+        self,
+        operation: Callable[[], object],
+        *,
+        what: str = "object operation failed",
+        idempotent: bool = True,
+        on_retry: Optional[Callable[[ObjectStoreError], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Call ``operation`` under this policy and return its result.
+
+        Only :class:`ObjectStoreError` triggers a retry, and only for
+        idempotent operations — a non-idempotent one surfaces its first
+        failure untouched.  Exhaustion raises an
+        :class:`ObjectStoreError` whose message carries ``what``, the
+        attempt count and the last underlying error.
+        """
+        attempts = self.max_attempts if idempotent else 1
+        pauses = self.delays()
+        last: Optional[ObjectStoreError] = None
+        for attempt in range(1, attempts + 1):
+            try:
+                return operation()
+            except ObjectStoreError as exc:
+                exc.attempts = attempt
+                last = exc
+                if not idempotent:
+                    raise
+                if attempt == attempts:
+                    break
+                if on_retry is not None:
+                    on_retry(exc)
+                pause = next(pauses, 0.0)
+                if pause > 0:
+                    sleep(pause)
+        raise ObjectStoreError(
+            f"{what} after {attempts} attempt{'s' if attempts != 1 else ''}: {last}",
+            key=last.key if last is not None else None,
+            attempts=attempts,
+        ) from last
+
+
+# -- HTTP transport ---------------------------------------------------------------
+
+
+class HttpObjectClient:
+    """Blob transport over plain HTTP, in the S3-compatible style.
+
+    One object per URL: ``PUT {base}/{key}`` uploads the bytes,
+    ``GET {base}/{key}`` downloads them, ``DELETE {base}/{key}`` removes
+    them, and ``GET {base}/?prefix=...`` lists keys (newline-separated
+    plain text, the contract of the bundled
+    :class:`~repro.sharding.devserver.ObjectHTTPServer` fixture).
+    Partial shard fetches go through :meth:`get_range` with an HTTP
+    ``Range`` header; a server without range support answers ``200``
+    with the full body and the slice is taken client-side.
+
+    The client itself never retries — retrying is the
+    :class:`RetryPolicy`'s job in the store above — but it classifies
+    every failure: 5xx responses and socket-level errors (timeouts,
+    refused/reset connections) raise :class:`ObjectStoreError` with
+    ``transient=True``; 4xx responses are permanent.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        if not base_url.startswith(("http://", "https://")):
+            raise ObjectStoreError(
+                f"object store URL must be http(s)://..., got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/{urllib.parse.quote(validate_key(key))}"
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        key: Optional[str],
+        data: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+        ok_missing: bool = False,
+    ) -> Tuple[int, bytes]:
+        request = urllib.request.Request(
+            url, data=data, method=method, headers=headers or {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404 and ok_missing:
+                return exc.code, b""
+            raise ObjectStoreError(
+                f"{method} {key or url} -> HTTP {exc.code} {exc.reason}",
+                key=key,
+                transient=exc.code >= 500,
+            ) from exc
+        except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as exc:
+            # never let a raw socket/OS error escape the client layer
+            reason = getattr(exc, "reason", exc)
+            raise ObjectStoreError(
+                f"{method} {key or url} failed: {reason}", key=key, transient=True
+            ) from exc
+
+    def put(self, key: str, data: bytes) -> None:
+        self._request("PUT", self._url(key), key, data=bytes(data))
+
+    def get(self, key: str) -> bytes:
+        return self._request("GET", self._url(key), key)[1]
+
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        """``length`` bytes of the object starting at ``start``."""
+        if start < 0 or length < 0:
+            raise ObjectStoreError(
+                f"invalid range {start}+{length} for object {key!r}", key=key
+            )
+        if length == 0:
+            return b""
+        headers = {"Range": f"bytes={start}-{start + length - 1}"}
+        status, body = self._request("GET", self._url(key), key, headers=headers)
+        if status == 206:
+            return body
+        return body[start : start + length]  # server ignored the Range header
+
+    def list(self, prefix: str = ""):
+        query = urllib.parse.urlencode({"prefix": prefix})
+        _status, body = self._request("GET", f"{self.base_url}/?{query}", None)
+        return sorted(key for key in body.decode("utf-8").splitlines() if key)
+
+    def delete(self, key: str) -> None:
+        # deleting an already-absent object is success, like the local client
+        self._request("DELETE", self._url(key), key, ok_missing=True)
+
+    def close(self) -> None:
+        """No persistent connection to release."""
+
+
+# -- fault injection --------------------------------------------------------------
+
+
+#: every fault the injector knows how to script
+FAULT_KINDS = ("transient", "timeout", "drop", "truncate", "bitflip", "slow")
+
+#: faults that corrupt *returned bytes* — on writes they degrade to a
+#: loud transient rejection (the S3 posture: a Content-MD5 mismatch is a
+#: 4xx/5xx, never a silently corrupted stored object), so a corrupted
+#: upload is always retryable instead of poisoning the shard forever
+_READ_ONLY_FAULTS = ("truncate", "bitflip", "drop")
+
+
+class FaultInjectingClient:
+    """Deterministic fault wrapper around any object client.
+
+    Two modes, both reproducible:
+
+    * **seeded random** — ``fault_rate`` is the per-operation fault
+      probability and ``seed`` fixes the whole fault sequence, so a run
+      that passed once passes always;
+    * **scripted** — ``script`` is a sequence of ``(operation, kind)``
+      pairs consumed in order: when the next scripted operation name
+      (``"put"``, ``"get"``, ``"get_range"``, ``"list"``, ``"delete"``,
+      or ``"*"`` for any) matches the call being made, that fault fires.
+
+    Fault kinds (:data:`FAULT_KINDS`):
+
+    * ``transient`` — the operation fails with an injected HTTP-503-style
+      :class:`ObjectStoreError` before reaching the wrapped client;
+    * ``timeout`` — likewise, shaped as a timed-out request;
+    * ``drop`` — a read sees the object as missing (eventual-consistency
+      visibility lag); on writes it degrades to ``transient``;
+    * ``truncate`` — a read returns only the first half of the bytes;
+    * ``bitflip`` — a read returns the bytes with one bit flipped at a
+      seeded position;
+    * ``slow`` — the operation succeeds after a ``slow_delay`` pause.
+
+    ``faults`` counts injected faults by kind and ``operations`` counts
+    calls by operation name, for assertions and bench reporting.
+    """
+
+    def __init__(
+        self,
+        inner,
+        seed: int = 0,
+        fault_rate: float = 0.0,
+        kinds: Sequence[str] = FAULT_KINDS,
+        script: Optional[Iterable[Tuple[str, str]]] = None,
+        slow_delay: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not 0.0 <= fault_rate <= 1.0:
+            raise TableError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        unknown = [kind for kind in kinds if kind not in FAULT_KINDS]
+        if unknown:
+            raise TableError(f"unknown fault kind(s) {unknown}; known: {FAULT_KINDS}")
+        self.inner = inner
+        self.fault_rate = fault_rate
+        self.kinds = tuple(kinds)
+        self.slow_delay = slow_delay
+        self._rng = random.Random(seed)
+        self._script = deque(script or ())
+        self._sleep = sleep
+        self.faults: Counter = Counter()
+        self.operations: Counter = Counter()
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    def _next_fault(self, operation: str) -> Optional[str]:
+        if self._script:
+            scripted_operation, kind = self._script[0]
+            if scripted_operation in (operation, "*"):
+                self._script.popleft()
+                if kind not in FAULT_KINDS:
+                    raise TableError(
+                        f"unknown scripted fault kind {kind!r}; known: {FAULT_KINDS}"
+                    )
+                return kind
+            return None
+        if self.fault_rate and self._rng.random() < self.fault_rate:
+            return self._rng.choice(self.kinds)
+        return None
+
+    def _raise_or_delay(self, kind: Optional[str], operation: str, key: Optional[str]):
+        """Handle the pre-call fault kinds; returns the kind that still
+        needs post-call (returned-bytes) handling, if any."""
+        if kind is None:
+            return None
+        if kind in _READ_ONLY_FAULTS and operation not in ("get", "get_range"):
+            kind = "transient"
+        self.faults[kind] += 1
+        if kind == "transient":
+            raise ObjectStoreError(
+                f"injected transient fault: {operation} {key!r} -> HTTP 503 "
+                "Service Unavailable",
+                key=key,
+                transient=True,
+            )
+        if kind == "timeout":
+            raise ObjectStoreError(
+                f"injected timeout: {operation} {key!r} timed out",
+                key=key,
+                transient=True,
+            )
+        if kind == "drop":
+            raise ObjectStoreError(
+                f"injected drop: object {key!r} not visible yet -> HTTP 404",
+                key=key,
+                transient=True,
+            )
+        if kind == "slow":
+            self._sleep(self.slow_delay)
+            return None
+        return kind  # truncate / bitflip corrupt the returned bytes
+
+    def _corrupt(self, kind: Optional[str], data: bytes) -> bytes:
+        if kind == "truncate" and data:
+            return data[: len(data) // 2]
+        if kind == "bitflip" and data:
+            position = self._rng.randrange(len(data))
+            corrupted = bytearray(data)
+            corrupted[position] ^= 1 << self._rng.randrange(8)
+            return bytes(corrupted)
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        self.operations["put"] += 1
+        self._raise_or_delay(self._next_fault("put"), "put", key)
+        self.inner.put(key, data)
+
+    def get(self, key: str) -> bytes:
+        self.operations["get"] += 1
+        corruption = self._raise_or_delay(self._next_fault("get"), "get", key)
+        return self._corrupt(corruption, self.inner.get(key))
+
+    def get_range(self, key: str, start: int, length: int) -> bytes:
+        self.operations["get_range"] += 1
+        corruption = self._raise_or_delay(
+            self._next_fault("get_range"), "get_range", key
+        )
+        return self._corrupt(corruption, self.inner.get_range(key, start, length))
+
+    def list(self, prefix: str = ""):
+        self.operations["list"] += 1
+        self._raise_or_delay(self._next_fault("list"), "list", None)
+        return self.inner.list(prefix)
+
+    def delete(self, key: str) -> None:
+        self.operations["delete"] += 1
+        self._raise_or_delay(self._next_fault("delete"), "delete", key)
+        self.inner.delete(key)
+
+    def close(self) -> None:
+        """Close the wrapped client (never fault-injected — cleanup must
+        stay reliable)."""
+        self.inner.close()

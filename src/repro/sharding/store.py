@@ -225,11 +225,23 @@ class SpillToDiskShardStore(ShardStore):
 STORE_KINDS = ("memory", "spill", "object")
 
 
-def make_shard_store(kind: str, directory: Union[str, Path, None] = None) -> ShardStore:
+def make_shard_store(
+    kind: str,
+    directory: Union[str, Path, None] = None,
+    object_url: Optional[str] = None,
+    retry_policy=None,
+) -> ShardStore:
     """Build a shard store from its CLI/session-facing name.
 
     ``directory`` is the spill/object root; ``None`` means a private
-    temporary directory removed on ``close()``.
+    temporary directory removed on ``close()``.  For the ``object``
+    kind, ``object_url`` switches the backing client from the local
+    filesystem to the remote
+    :class:`~repro.sharding.remote.HttpObjectClient` at that base URL —
+    the store then owns that remote namespace, so ``close()`` deletes
+    its uploaded objects instead of leaking them on the server.
+    ``retry_policy`` overrides the object store's default
+    :class:`~repro.sharding.remote.RetryPolicy`.
     """
     if kind == "memory":
         return InMemoryShardStore()
@@ -238,8 +250,15 @@ def make_shard_store(kind: str, directory: Union[str, Path, None] = None) -> Sha
     if kind == "object":
         # imported lazily: object_store builds on this module
         from repro.sharding.object_store import ObjectShardStore
+        from repro.sharding.remote import HttpObjectClient
 
-        return ObjectShardStore(root=directory)
+        if object_url:
+            return ObjectShardStore(
+                client=HttpObjectClient(object_url),
+                owns_client=True,
+                retry_policy=retry_policy,
+            )
+        return ObjectShardStore(root=directory, retry_policy=retry_policy)
     raise TableError(
         f"unknown shard store kind {kind!r} (expected one of {', '.join(STORE_KINDS)})"
     )

@@ -282,6 +282,99 @@ class TestStoreFlags:
         assert "pattern::position, frequency" in out
 
 
+class TestObjectUrlFlag:
+    """--object-url: shard objects served by a remote HTTP store."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.sharding.devserver import ObjectHTTPServer
+
+        with ObjectHTTPServer() as running:
+            yield running
+
+    def test_flag_parses_and_defaults_to_none(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.object_url is None
+        args = build_parser().parse_args(
+            ["detect", "--store", "object", "--object-url", "http://127.0.0.1:80"]
+        )
+        assert args.object_url == "http://127.0.0.1:80"
+
+    def test_non_http_url_rejected(self):
+        from repro.sharding import ObjectStoreError
+
+        with pytest.raises(ObjectStoreError, match="http"):
+            main(
+                [
+                    "detect",
+                    "--store", "object",
+                    "--object-url", "s3://bucket/prefix",
+                ]
+            )
+
+    def test_non_http_url_rejected_by_the_config_too(self):
+        # the session API path validates before any client is built
+        from repro.discovery import DiscoveryConfig
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError, match="object_url"):
+            DiscoveryConfig(store="object", object_url="s3://bucket/prefix")
+
+    def test_remote_detect_matches_memory_and_leaks_nothing(
+        self, server, tmp_path, capsys
+    ):
+        dataset = build_dataset("zip_city_state", n_rows=200)
+        path = tmp_path / "zips.csv"
+        write_csv(dataset.table, path)
+        code = main(["detect", "--csv", str(path), "--shard-rows", "32"])
+        assert code == EXIT_VIOLATIONS_FOUND
+        memory = capsys.readouterr().out
+        code = main(
+            [
+                "detect",
+                "--csv", str(path),
+                "--shard-rows", "32",
+                "--store", "object",
+                "--object-url", server.url,
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        assert capsys.readouterr().out == memory
+        # the run owned its remote namespace: nothing left on the server
+        assert server.object_count() == 0
+
+    def test_plan_records_the_http_client(self, server, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--store", "object",
+                "--object-url", server.url,
+                "--explain-plan",
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        out = capsys.readouterr().out
+        assert "store=object[http]" in out
+        assert server.object_count() == 0
+
+    def test_plan_records_the_local_client_without_a_url(self, capsys):
+        code = main(
+            [
+                "detect",
+                "--dataset", "paper_d2_zip",
+                "--min-coverage", "0.4",
+                "--allowed-violations", "0.3",
+                "--store", "object",
+                "--explain-plan",
+            ]
+        )
+        assert code == EXIT_VIOLATIONS_FOUND
+        assert "store=object[local]" in capsys.readouterr().out
+
+
 class TestExecutorFlags:
     """--executor / --n-workers / --explain-plan on discover and detect."""
 

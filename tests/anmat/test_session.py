@@ -523,6 +523,38 @@ class TestSessionLifecycle:
         session.run_discovery()
         session.close()
 
+    def test_failing_upload_releases_the_object_root(
+        self, tmp_path, small_zip_city_state
+    ):
+        # regression: a put that kept failing mid-upload used to leak
+        # the object root — the store was adopted only after from_chunks
+        # succeeded, so nothing closed it on the error path
+        from repro.dataset.csvio import write_csv
+        from repro.sharding import (
+            FaultInjectingClient,
+            LocalObjectClient,
+            ObjectShardStore,
+            ObjectStoreError,
+            RetryPolicy,
+        )
+
+        path = tmp_path / "zips.csv"
+        write_csv(small_zip_city_state.table, path)
+        client = FaultInjectingClient(
+            LocalObjectClient(),  # private tempdir — the leakable root
+            script=[("put", "transient")] * 99,
+        )
+        root = client.inner.root
+        store = ObjectShardStore(
+            client=client,
+            owns_client=True,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        with pytest.raises(ObjectStoreError, match="upload failed"):
+            with AnmatSession(dataset_name="leaky") as session:
+                session.upload_csv(path, shard_rows=40, store=store)
+        assert not root.exists(), "object root leaked after a failed upload"
+
     def test_upload_store_comes_from_config(self, tmp_path, small_zip_city_state):
         from repro.dataset.csvio import write_csv
         from repro.sharding import SpillToDiskShardStore

@@ -262,3 +262,41 @@ class TestRuleMaintenanceResolution:
 
         with pytest.raises(DiscoveryError, match="rule_maintenance"):
             DiscoveryConfig(rule_maintenance="sometimes")
+
+
+class TestObjectClientRouting:
+    """plan.object_client: which client serves an object-store run."""
+
+    def test_http_url_routes_the_http_client(self):
+        cfg = DiscoveryConfig(
+            shard_rows=10, store="object", object_url="http://127.0.0.1:8080"
+        )
+        plan = plan_run("discovery", 100, cfg)
+        assert plan.object_client == "http"
+        assert "store=object[http]" in plan.describe()
+        assert any("remote HTTP client" in d for d in plan.decisions)
+
+    def test_object_store_without_url_routes_the_local_client(self):
+        cfg = DiscoveryConfig(shard_rows=10, store="object")
+        plan = plan_run("discovery", 100, cfg)
+        assert plan.object_client == "local"
+        assert "store=object[local]" in plan.describe()
+        assert any("local filesystem client" in d for d in plan.decisions)
+
+    def test_other_stores_have_no_object_client(self):
+        for store in ("memory", "spill"):
+            plan = plan_run("discovery", 100, DiscoveryConfig(shard_rows=10, store=store))
+            assert plan.object_client == "none"
+            assert "[" not in plan.describe().split("store=")[1].split()[0]
+
+    def test_monolithic_backend_has_no_object_client(self):
+        # the url is only consulted when shards actually exist
+        cfg = DiscoveryConfig(store="object", object_url="http://127.0.0.1:8080")
+        plan = plan_run("discovery", 100, cfg, executor="serial")
+        assert plan.object_client == "none"
+
+    def test_config_validates_the_url(self):
+        from repro.errors import DiscoveryError
+
+        with pytest.raises(DiscoveryError, match="object_url"):
+            DiscoveryConfig(store="object", object_url="ftp://host/x")

@@ -155,17 +155,25 @@ class TestSpillToDisk:
 
 
 class FlakyClient(LocalObjectClient):
-    """A client whose first ``fail_reads`` get() calls raise."""
+    """A client whose first ``fail_reads`` get() / ``fail_puts`` put()
+    calls raise."""
 
-    def __init__(self, root, fail_reads=0):
+    def __init__(self, root, fail_reads=0, fail_puts=0):
         super().__init__(root)
         self.fail_reads = fail_reads
+        self.fail_puts = fail_puts
 
     def get(self, key):
         if self.fail_reads > 0:
             self.fail_reads -= 1
             raise ObjectStoreError(f"transient outage reading {key!r}")
         return super().get(key)
+
+    def put(self, key, data):
+        if self.fail_puts > 0:
+            self.fail_puts -= 1
+            raise ObjectStoreError(f"transient outage writing {key!r}", transient=True)
+        super().put(key, data)
 
 
 class TestObjectStore:
@@ -204,13 +212,36 @@ class TestObjectStore:
             store.get(0)
         assert store.retried_reads == 2
 
+    def test_transient_put_failure_is_retried(self, tmp_path):
+        # regression: puts used to go out un-retried, so one transient
+        # failure lost the shard instead of healing like reads do
+        client = FlakyClient(tmp_path / "objects", fail_puts=2)
+        store = ObjectShardStore(client=client)
+        store.append(make_shard(SHARD_A))
+        assert store.retried_puts == 2
+        assert store.n_shards == 1
+        assert store.get(0).column("code") == ["10", "20"]
+
+    def test_persistent_put_failure_surfaces(self, tmp_path):
+        client = FlakyClient(tmp_path / "objects", fail_puts=99)
+        store = ObjectShardStore(client=client, max_read_attempts=3)
+        with pytest.raises(TableError, match="upload failed after 3 attempts"):
+            store.append(make_shard(SHARD_A))
+        assert store.n_shards == 0  # the failed shard was never recorded
+
     def test_checksum_mismatch_rejected(self, tmp_path):
         store = ObjectShardStore(root=tmp_path / "objects")
         store.append(make_shard(SHARD_A))
         # flip bytes behind the store's back: same shape, wrong content
         store.client.put("shards/shard_000000.csv", b"99,x\r\n20,y\r\n")
-        with pytest.raises(TableError, match="failed its checksum"):
+        with pytest.raises(TableError, match="failed its checksum") as excinfo:
             store.get(0)
+        # regression: the error must carry enough context to diagnose —
+        # which object, how hard we tried, and both digests
+        message = str(excinfo.value)
+        assert "shards/shard_000000.csv" in message
+        assert "attempts" in message
+        assert "expected sha256" in message and "got" in message
 
     def test_deleted_object_surfaces_client_error(self, tmp_path):
         store = ObjectShardStore(root=tmp_path / "objects")

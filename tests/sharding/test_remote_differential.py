@@ -1,0 +1,148 @@
+"""Differential tests through the remote object client under injected
+faults.
+
+The PR-4/PR-7 acceptance bar, moved onto the network: the full session
+workflow (profile → discover → confirm → detect, then an edit batch and
+a recheck) runs with every shard living on an HTTP object server behind
+a :class:`FaultInjectingClient` firing transient errors, timeouts,
+truncations, bit-flips and dropped reads at a nonzero rate — and must
+produce the *identical* rule set and canonical violations as the
+monolithic in-memory run, heal every fault through the retry policy,
+respect the LRU cache bound, and leave zero objects on the server after
+``session.close()``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anmat.session import AnmatSession
+from repro.datagen import build_dataset
+from repro.datagen.corruption import CorruptionSpec, ErrorInjector
+from repro.sharding import (
+    FaultInjectingClient,
+    HttpObjectClient,
+    ObjectShardStore,
+    RetryPolicy,
+    ShardedTable,
+)
+from repro.sharding.devserver import ObjectHTTPServer
+
+#: a subset of the PR-4 generator matrix — two generators x two seeds
+#: keeps the faulted sweep under a few seconds while still covering
+#: prefix- and token-mode discovery
+GENERATORS = [
+    ("zip_city_state", 90, [CorruptionSpec("city", 0.05, kind="swap")]),
+    ("employee_ids", 70, [CorruptionSpec("employee_id", 0.05, kind="typo")]),
+]
+
+SEEDS = [3, 58]
+
+FAULT_RATE = 0.2
+SHARD_ROWS = 9
+CACHE_SHARDS = 2
+
+#: generous attempt budget: at a 0.2 fault rate, 8 attempts make a
+#: whole-run failure astronomically unlikely while staying bounded
+POLICY = RetryPolicy(max_attempts=8, base_delay=0.0)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ObjectHTTPServer() as running:
+        yield running
+
+
+def dirty_table(name, n_rows, specs, seed):
+    dataset = build_dataset(name, n_rows=n_rows, seed=seed)
+    dirty, _cells = ErrorInjector(seed=seed + 1).corrupt(dataset.table, specs)
+    return dirty
+
+
+def run_workflow(table):
+    """profile → discover → confirm → detect → edit batch → recheck →
+    detect again; returns (rules, canonical violations, rules after the
+    edits, canonical violations after the edits)."""
+    with AnmatSession(dataset_name="remote-differential") as session:
+        session.load_table(table)
+        session.set_parameters(min_coverage=0.4, allowed_violation_ratio=0.2)
+        session.run_profiling()
+        result = session.run_discovery()
+        session.confirm_all()
+        report = session.run_detection()
+        rules = [pfd.describe() for pfd in result.pfds]
+        canonical = report.canonical_violations()
+
+        # an edit batch: blank one cell per column in the first rows,
+        # then re-derive rules and violations from the edited table
+        columns = session.table.column_names()
+        for row, attribute in enumerate(columns[: min(3, len(columns))]):
+            session.edit_cell(row, attribute, "")
+        rechecked = session.recheck()
+        session.confirm_all()
+        after_report = session.run_detection()
+        after_rules = [pfd.describe() for pfd in rechecked.pfds]
+        after_canonical = after_report.canonical_violations()
+    return rules, canonical, after_rules, after_canonical
+
+
+def faulty_store(server, seed):
+    client = FaultInjectingClient(
+        HttpObjectClient(server.url),
+        seed=seed,
+        fault_rate=FAULT_RATE,
+        slow_delay=0.0,
+    )
+    store = ObjectShardStore(
+        client=client,
+        owns_client=True,
+        prefix=f"diff_{seed}",
+        cache_shards=CACHE_SHARDS,
+        retry_policy=POLICY,
+    )
+    return client, store
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,n_rows,specs", GENERATORS, ids=lambda v: str(v))
+def test_faulted_remote_run_identical_to_monolithic(server, name, n_rows, specs, seed):
+    # each arm gets its own (seed-identical) table: the workflow's edit
+    # batch mutates its table in place, so sharing one would leak the
+    # monolithic arm's edits into the remote arm's upload
+    expected = run_workflow(dirty_table(name, n_rows, specs, seed))
+
+    client, store = faulty_store(server, seed)
+    table = dirty_table(name, n_rows, specs, seed)
+    sharded = ShardedTable.from_table(table, SHARD_ROWS, store=store)
+    assert sharded.n_shards > 1
+    observed = run_workflow(sharded)
+
+    assert observed == expected, "faulted remote run diverged from monolithic"
+    # the run actually exercised the fault path and healed through it
+    assert client.total_faults > 0, "fault injector never fired"
+    assert store.retried_reads + store.retried_puts > 0
+    # the LRU bound held: the store never cached more than its budget
+    assert len(store._loaded) <= CACHE_SHARDS
+    # session.close() released the remote namespace — nothing leaked
+    leftovers = [k for k in server.objects if k.startswith(f"diff_{seed}/")]
+    assert leftovers == [], f"objects leaked on the server: {leftovers}"
+
+
+def test_fault_free_control_run_needs_no_retries(server):
+    """The control arm: the same wiring at fault_rate=0 heals nothing
+    because nothing breaks — pinning the retry counters to the faults."""
+    name, n_rows, specs = GENERATORS[0]
+    expected = run_workflow(dirty_table(name, n_rows, specs, SEEDS[0]))
+    client = FaultInjectingClient(HttpObjectClient(server.url), fault_rate=0.0)
+    store = ObjectShardStore(
+        client=client,
+        owns_client=True,
+        prefix="control",
+        retry_policy=POLICY,
+    )
+    table = dirty_table(name, n_rows, specs, SEEDS[0])
+    sharded = ShardedTable.from_table(table, SHARD_ROWS, store=store)
+    assert run_workflow(sharded) == expected
+    assert client.total_faults == 0
+    assert store.retried_reads == 0 and store.retried_puts == 0
+    assert not any(k.startswith("control/") for k in server.objects)
