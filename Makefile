@@ -6,7 +6,7 @@
 
 PYTHON ?= python
 
-.PHONY: check test fault-differential perf-gate coverage bench bench-suite
+.PHONY: check test fault-differential perf-gate coverage bench bench-remote bench-suite
 
 check: test fault-differential perf-gate coverage
 
@@ -41,6 +41,14 @@ coverage:
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py
+
+# Only the remote-path benches: sharded detection with shard bytes
+# behind the fault-injected loopback HTTP object client, sequential
+# (remote_object_faults) and through the prefetching reader
+# (pipelined_remote).  Prints the I/O-vs-compute overlap breakdown.
+bench-remote:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py \
+		--only remote_object_faults_64000 pipelined_remote_64000
 
 # The full paper-experiment benchmark suite (pytest-benchmark, slow).
 bench-suite:

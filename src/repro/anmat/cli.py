@@ -53,7 +53,12 @@ def _load_table(args: argparse.Namespace):
         shard_rows = DEFAULT_SHARD_ROWS
     if args.csv:
         if shard_rows > 0:
-            store = make_shard_store(store_kind, spill_dir, object_url=object_url)
+            store = make_shard_store(
+                store_kind,
+                spill_dir,
+                object_url=object_url,
+                prefetch_depth=getattr(args, "prefetch_depth", 0),
+            )
             try:
                 sharded = read_csv_sharded(Path(args.csv), shard_rows, store=store)
             except BaseException:
@@ -65,7 +70,12 @@ def _load_table(args: argparse.Namespace):
     if store_kind != "memory":
         # built-in datasets are generated in memory; re-shard them into
         # the requested store so the session still runs out of core
-        store = make_shard_store(store_kind, spill_dir, object_url=object_url)
+        store = make_shard_store(
+            store_kind,
+            spill_dir,
+            object_url=object_url,
+            prefetch_depth=getattr(args, "prefetch_depth", 0),
+        )
         try:
             sharded = ShardedTable.from_table(dataset.table, shard_rows, store=store)
         except BaseException:
@@ -85,6 +95,8 @@ def _make_session(table, label: str, args: argparse.Namespace) -> AnmatSession:
         store=getattr(args, "store", "memory"),
         spill_dir=getattr(args, "spill_dir", None),
         object_url=getattr(args, "object_url", None),
+        pool=getattr(args, "pool", "persistent"),
+        prefetch_depth=getattr(args, "prefetch_depth", 2),
         rule_maintenance=getattr(args, "rule_maintenance", "auto"),
     )
     session = AnmatSession(dataset_name=label, config=config)
@@ -195,6 +207,29 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "'on' requests them (degrading to the scalar path without "
             "numpy), 'off' forces the scalar path; results are identical "
             "either way"
+        ),
+    )
+    parser.add_argument(
+        "--pool",
+        default="persistent",
+        choices=("persistent", "per-call"),
+        help=(
+            "worker-pool lifecycle for --n-workers fan-out: 'persistent' "
+            "keeps one process pool warm across the session's runs (with "
+            "a shard-version-keyed result cache), 'per-call' builds and "
+            "tears down a fresh pool inside each run"
+        ),
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "how many shard objects ahead the --store object reader "
+            "fetches on background threads (GET + checksum verification "
+            "overlap compute; retry backoff stays off the critical "
+            "path); 0 reads sequentially"
         ),
     )
     parser.add_argument(

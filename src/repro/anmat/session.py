@@ -51,6 +51,7 @@ from repro.engine import (
     plan_detection,
     plan_discovery,
 )
+from repro.engine.worker_pool import WorkerPool
 from repro.errors import ProjectError
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
@@ -107,6 +108,10 @@ class AnmatSession:
     #: the dataset as the engine sees it: eager monolithic table, or a
     #: never-materialized shard-store source
     _source: Optional[DataSource] = field(default=None, repr=False)
+    #: the session's persistent worker pool (``config.pool ==
+    #: "persistent"``): lazily created by the first plan that fans out,
+    #: reused across discovery/detection/recheck, closed with the session
+    _worker_pool: Optional[WorkerPool] = field(default=None, repr=False)
 
     # -- step 1: load ------------------------------------------------------------
 
@@ -129,6 +134,10 @@ class AnmatSession:
         """
         if self._source is not None:
             self._source.close()
+        if self._worker_pool is not None:
+            # a new dataset restarts shard indexes and versions from
+            # scratch; stale warm-cache entries must not hit for it
+            self._worker_pool.clear_warm_cache()
         if isinstance(table, ShardedTable):
             self._source = DataSource.from_sharded(table)
         else:
@@ -181,6 +190,7 @@ class AnmatSession:
                 self.config.store,
                 self.config.spill_dir,
                 object_url=self.config.object_url,
+                prefetch_depth=self.config.prefetch_depth,
             )
         try:
             sharded = ShardedTable.from_chunks(
@@ -248,7 +258,7 @@ class AnmatSession:
         if self.profile is None:
             self.run_profiling()
         self.discovery = build_executor(plan).run_discovery(
-            plan, self._source, relation=self.dataset_name
+            plan, self._source, relation=self.dataset_name, pool=self._pool_for(plan)
         )
         self.last_plan = plan
         self._seed_maintainer(plan, self.discovery)
@@ -332,7 +342,10 @@ class AnmatSession:
                 warnings.warn(reason, PlanWarning, stacklevel=2)
         if result is None:
             result = build_executor(plan).run_discovery(
-                plan, self._source, relation=self.dataset_name
+                plan,
+                self._source,
+                relation=self.dataset_name,
+                pool=self._pool_for(plan),
             )
             self._seed_maintainer(plan, result)
         self.discovery = result
@@ -456,7 +469,9 @@ class AnmatSession:
                 "no confirmed PFDs to run; call run_discovery() and confirm() first"
             )
         plan = self.plan_detection(strategy=strategy, executor=executor)
-        self.violations = build_executor(plan).run_detection(plan, self._source, rules)
+        self.violations = build_executor(plan).run_detection(
+            plan, self._source, rules, pool=self._pool_for(plan)
+        )
         self.last_plan = plan
         self._detection_rules = rules
         # the edit loop's incremental detector understands the monolithic
@@ -518,6 +533,9 @@ class AnmatSession:
         Idempotent, and also invoked when the session is used as a
         context manager.
         """
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
         if self._source is not None:
             self._source.close()
             self._source = None
@@ -553,6 +571,24 @@ class AnmatSession:
             raise ProjectError(
                 f"session {self.dataset_name!r} has no table; call load_table() first"
             )
+
+    def _pool_for(self, plan: ExecutionPlan) -> Optional[WorkerPool]:
+        """The persistent worker pool serving this plan, or ``None`` for
+        serial plans and ``pool="per-call"`` (the executors then build
+        ephemeral pools themselves).  Created lazily on the first
+        fanning-out plan, reused until :meth:`close`; a changed
+        ``n_workers`` rebuilds it at the new width."""
+        if plan.n_workers <= 1 or plan.pool != "persistent":
+            return None
+        if (
+            self._worker_pool is not None
+            and self._worker_pool.n_workers != plan.n_workers
+        ):
+            self._worker_pool.close()
+            self._worker_pool = None
+        if self._worker_pool is None:
+            self._worker_pool = WorkerPool(plan.n_workers)
+        return self._worker_pool
 
     def _save_results(self) -> None:
         if self.project is None or self.violations is None:

@@ -91,6 +91,25 @@ class DiscoveryConfig:
         retry-protected transfers).  The execution plan records which
         client kind serves the run.  Ignored unless ``store`` is
         ``"object"``.
+    pool:
+        Worker-pool lifecycle for the fan-out stages.  ``"persistent"``
+        (the default) keeps one process-backed
+        :class:`~repro.engine.worker_pool.WorkerPool` alive per session
+        — lazily started, reused across discovery/detection/recheck,
+        closed with the session — including a warm result cache keyed by
+        shard version so repeated runs over unchanged shards skip the
+        process round-trip.  ``"per-call"`` restores the old behavior of
+        building and tearing down an ephemeral pool inside every run.
+        Only meaningful when ``n_workers > 1``; recorded on the
+        execution plan.
+    prefetch_depth:
+        How many shard objects ahead the ``object`` store's reader
+        fetches on a background thread pool, overlapping GET + checksum
+        verification of shards N+1..N+k with compute on shard N (retry
+        backoff sleeps happen inside the fetch threads, off the critical
+        path).  ``0`` disables prefetching (fully sequential reads).
+        Ignored unless ``store`` is ``"object"``; recorded on the
+        execution plan.
     rule_maintenance:
         How a session re-check after edits refreshes the rule set.
         ``"auto"`` (the default) maintains the rules incrementally
@@ -122,6 +141,8 @@ class DiscoveryConfig:
     store: str = "memory"
     spill_dir: Optional[str] = None
     object_url: Optional[str] = None
+    pool: str = "persistent"
+    prefetch_depth: int = 2
     rule_maintenance: str = "auto"
 
     def __post_init__(self) -> None:
@@ -157,6 +178,14 @@ class DiscoveryConfig:
         ):
             raise DiscoveryError(
                 f"object_url must be an http(s):// URL, got {self.object_url!r}"
+            )
+        if self.pool not in ("persistent", "per-call"):
+            raise DiscoveryError(
+                f"pool must be 'persistent' or 'per-call', got {self.pool!r}"
+            )
+        if self.prefetch_depth < 0:
+            raise DiscoveryError(
+                f"prefetch_depth must be >= 0, got {self.prefetch_depth}"
             )
         if self.rule_maintenance not in ("auto", "incremental", "full"):
             raise DiscoveryError(

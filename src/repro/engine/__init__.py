@@ -41,6 +41,7 @@ from repro.engine.plan import (
     plan_run,
 )
 from repro.engine.pool import make_shard_map, process_map, serial_map
+from repro.engine.worker_pool import WorkerPool
 from repro.sharding.object_store import LocalObjectClient, ObjectShardStore
 from repro.sharding.overlay import ShardOverlay
 from repro.sharding.remote import (
@@ -78,6 +79,7 @@ __all__ = [
     "ShardStore",
     "ShardedExecutor",
     "SpillToDiskShardStore",
+    "WorkerPool",
     "make_shard_store",
     "build_executor",
     "detect_all_parallel",

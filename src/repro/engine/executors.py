@@ -27,8 +27,7 @@ from __future__ import annotations
 
 import pickle
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.profiling import TableProfile, profile_sharded, profile_table
@@ -42,6 +41,7 @@ from repro.discovery.discoverer import (
 )
 from repro.engine.plan import ExecutionBackend, ExecutionPlan
 from repro.engine.pool import make_shard_map, process_map
+from repro.engine.worker_pool import WorkerPool
 from repro.errors import DetectionError
 from repro.pfd.pfd import PFD
 from repro.sharding.detection import ShardedDetector
@@ -238,19 +238,33 @@ def _repartition_streaming(overlay: ShardOverlay, shard_rows: int) -> ShardedTab
 
 
 class Executor(ABC):
-    """A backend that can run discovery/detection plans."""
+    """A backend that can run discovery/detection plans.
+
+    The optional ``pool`` is a persistent
+    :class:`~repro.engine.worker_pool.WorkerPool` the caller owns
+    (sessions keep one alive across runs); ``None`` keeps the
+    self-contained per-call fan-out.
+    """
 
     name: str
 
     @abstractmethod
     def run_discovery(
-        self, plan: ExecutionPlan, source: DataSource, relation: Optional[str] = None
+        self,
+        plan: ExecutionPlan,
+        source: DataSource,
+        relation: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> DiscoveryResult:
         """Run a discovery plan over the source."""
 
     @abstractmethod
     def run_detection(
-        self, plan: ExecutionPlan, source: DataSource, rules: Sequence[PFD]
+        self,
+        plan: ExecutionPlan,
+        source: DataSource,
+        rules: Sequence[PFD],
+        pool: Optional[WorkerPool] = None,
     ) -> ViolationReport:
         """Run a detection plan (the given rules) over the source."""
 
@@ -260,12 +274,12 @@ class SerialExecutor(Executor):
 
     name = ExecutionBackend.SERIAL
 
-    def run_discovery(self, plan, source, relation=None):
+    def run_discovery(self, plan, source, relation=None, pool=None):
         return PfdDiscoverer(plan.config).discover_with_report(
             source.table, relation=relation
         )
 
-    def run_detection(self, plan, source, rules):
+    def run_detection(self, plan, source, rules, pool=None):
         return ErrorDetector(source.table).detect_all(rules, strategy=plan.strategy)
 
 
@@ -274,19 +288,29 @@ class ParallelExecutor(Executor):
 
     name = ExecutionBackend.PARALLEL
 
-    def run_discovery(self, plan, source, relation=None):
+    def run_discovery(self, plan, source, relation=None, pool=None):
         discoverer = PfdDiscoverer(plan.config)
         return discoverer.discover_with_report(
             source.table,
             relation=relation,
             mine=lambda table, candidates: mine_candidates_parallel(
-                discoverer, table, candidates, plan.n_workers
+                discoverer,
+                table,
+                candidates,
+                plan.n_workers,
+                pool=pool,
+                decisions=plan.decisions,
             ),
         )
 
-    def run_detection(self, plan, source, rules):
+    def run_detection(self, plan, source, rules, pool=None):
         return detect_all_parallel(
-            source.table, list(rules), plan.strategy, plan.n_workers
+            source.table,
+            list(rules),
+            plan.strategy,
+            plan.n_workers,
+            pool=pool,
+            decisions=plan.decisions,
         )
 
 
@@ -295,19 +319,27 @@ class ShardedExecutor(Executor):
 
     name = ExecutionBackend.SHARDED
 
-    def run_discovery(self, plan, source, relation=None):
+    def run_discovery(self, plan, source, relation=None, pool=None):
         sharded = source.sharded_view(plan.shard_rows)
-        return ShardedDiscoverer(
-            plan.config, shard_map=make_shard_map(plan.n_workers)
-        ).discover_with_report(sharded, relation=relation)
+        try:
+            return ShardedDiscoverer(
+                plan.config, shard_map=make_shard_map(plan.n_workers, pool=pool)
+            ).discover_with_report(sharded, relation=relation)
+        finally:
+            if pool is not None:
+                plan.decisions.extend(pool.take_decisions())
 
-    def run_detection(self, plan, source, rules):
+    def run_detection(self, plan, source, rules, pool=None):
         sharded = source.sharded_view(plan.shard_rows)
-        return ShardedDetector(
-            sharded,
-            shard_map=make_shard_map(plan.n_workers),
-            use_kernels=plan.use_kernels,
-        ).detect_all(rules)
+        try:
+            return ShardedDetector(
+                sharded,
+                shard_map=make_shard_map(plan.n_workers, pool=pool),
+                use_kernels=plan.use_kernels,
+            ).detect_all(rules)
+        finally:
+            if pool is not None:
+                plan.decisions.extend(pool.take_decisions())
 
 
 _EXECUTORS: Dict[str, Executor] = {
@@ -334,6 +366,8 @@ def mine_candidates_parallel(
     table: Table,
     candidates: Sequence,
     n_workers: int,
+    pool: Optional[WorkerPool] = None,
+    decisions: Optional[List[str]] = None,
 ) -> List:
     """Fan candidate mining out over ``concurrent.futures`` workers.
 
@@ -344,10 +378,11 @@ def mine_candidates_parallel(
     reports are reassembled in candidate order, so output stays
     byte-identical to the serial path.
 
-    Process workers are preferred; thread workers are used when the
-    config or decision function cannot be pickled, and as a fallback if
-    the pool dies (e.g. fork unavailable).  Genuine mining errors
-    propagate either way.
+    Process workers are preferred — the caller's persistent ``pool``
+    when given, an ephemeral one otherwise (``process_map`` owns the
+    degrade semantics either way).  Thread workers are used when the
+    config or decision function cannot be pickled, which a process pool
+    cannot serve at all.  Genuine mining errors propagate either way.
     """
     config = discoverer.config
     decision = discoverer.constant_miner.decision
@@ -372,16 +407,17 @@ def mine_candidates_parallel(
     if len(payloads) < 2:
         # one LHS column group: a pool of one buys nothing, skip it
         return discoverer._mine_serial(table, candidates)
-    max_workers = min(n_workers, len(payloads))
     try:
         pickle.dumps((config, decision))
-        executor_cls = ProcessPoolExecutor
+        picklable = True
     except Exception:
-        executor_cls = ThreadPoolExecutor
-    try:
-        with executor_cls(max_workers=max_workers) as executor:
-            group_reports = list(executor.map(_mine_candidate_group, payloads))
-    except BrokenProcessPool:
+        picklable = False
+    if picklable:
+        group_reports = process_map(
+            _mine_candidate_group, payloads, n_workers, pool=pool, decisions=decisions
+        )
+    else:
+        max_workers = min(n_workers, len(payloads))
         with ThreadPoolExecutor(max_workers=max_workers) as executor:
             group_reports = list(executor.map(_mine_candidate_group, payloads))
     reports: List = [None] * len(candidates)
@@ -395,7 +431,12 @@ def mine_candidates_parallel(
 
 
 def detect_all_parallel(
-    table: Table, rules: List[PFD], strategy: str, n_workers: int
+    table: Table,
+    rules: List[PFD],
+    strategy: str,
+    n_workers: int,
+    pool: Optional[WorkerPool] = None,
+    decisions: Optional[List[str]] = None,
 ) -> ViolationReport:
     """Detect every rule's violations with a per-rule process fan-out.
 
@@ -421,7 +462,9 @@ def detect_all_parallel(
         pickle.dumps(payloads)
     except Exception:
         return ErrorDetector(table).detect_all(rules, strategy=strategy)
-    partials = process_map(_detect_rule_payload, payloads, n_workers)
+    partials = process_map(
+        _detect_rule_payload, payloads, n_workers, pool=pool, decisions=decisions
+    )
     for partial in partials:
         merged = merged.merged_with(partial)
     merged.strategy = strategy

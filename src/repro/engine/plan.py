@@ -93,6 +93,14 @@ class ExecutionPlan:
     #: filesystem client, ``"http"`` for the remote client at
     #: ``config.object_url``, ``"none"`` for the other stores
     object_client: str = "none"
+    #: worker-pool lifecycle for the fan-out stages: ``"persistent"``
+    #: reuses the session's :class:`~repro.engine.worker_pool.WorkerPool`
+    #: across runs, ``"per-call"`` builds an ephemeral pool per run
+    pool: str = "persistent"
+    #: how many shard objects ahead the ``object`` store's reader
+    #: fetches on background threads (``0`` = sequential reads; only
+    #: meaningful when ``store`` is ``"object"``)
+    prefetch_depth: int = 0
     #: the executor the caller asked for (``"auto"`` or a backend name)
     requested_executor: str = "auto"
     #: how a re-check refreshes the rule set: ``"incremental"`` routes
@@ -116,10 +124,14 @@ class ExecutionPlan:
             if self.rule_maintenance != "none"
             else ""
         )
+        pool = f" pool={self.pool}" if self.n_workers > 1 else ""
+        prefetch = (
+            f" prefetch_depth={self.prefetch_depth}" if self.prefetch_depth > 0 else ""
+        )
         lines = [
             f"execution plan ({self.kind}): backend={self.backend} "
             f"{shape} workers={self.n_workers} rows={self.n_rows} "
-            f"kernels={self.use_kernels}{maintenance}"
+            f"kernels={self.use_kernels}{pool}{prefetch}{maintenance}"
         ]
         lines.extend(f"  - {decision}" for decision in self.decisions)
         return "\n".join(lines)
@@ -316,6 +328,33 @@ def plan_run(
             else "shard objects stay on the local filesystem client"
         )
 
+    # -- pipelined execution -------------------------------------------------
+    # Pool lifecycle only matters when a fan-out will actually run;
+    # prefetch only matters when shard bytes leave the process (the
+    # object store), so both decisions are recorded exactly then.
+    pool = config.pool
+    if n_workers > 1:
+        decisions.append(
+            "worker pool is persistent: processes stay warm across "
+            "discovery/detection/recheck and close with the session"
+            if pool == "persistent"
+            else "worker pool is per-call: a fresh process pool is built "
+            "and torn down inside each run"
+        )
+    prefetch_depth = 0
+    if config.store == "object" and backend == ExecutionBackend.SHARDED:
+        prefetch_depth = config.prefetch_depth
+        if prefetch_depth > 0:
+            decisions.append(
+                f"prefetch_depth={prefetch_depth}: shard objects are "
+                "fetched and checksum-verified ahead on background threads"
+            )
+        else:
+            decisions.append(
+                "prefetch_depth=0: shard objects are read sequentially "
+                "on the compute path"
+            )
+
     # -- rule maintenance ----------------------------------------------------
     # Only a re-check maintains; a first discovery has nothing to maintain.
     # Incremental maintenance additionally needs the sharded backend (the
@@ -363,6 +402,8 @@ def plan_run(
         materialization=materialization,
         store=config.store,
         object_client=object_client,
+        pool=pool,
+        prefetch_depth=prefetch_depth,
         requested_executor=executor,
         rule_maintenance=rule_maintenance,
         decisions=decisions,

@@ -24,6 +24,7 @@ from repro.sharding.remote import (
     RetryPolicy,
 )
 from repro.sharding.overlay import OverlayShardStore, ShardOverlay
+from repro.sharding.prefetch import PrefetchingFetcher
 from repro.sharding.sharded_table import ShardedTable
 from repro.sharding.stats import (
     MergedPairGroups,
@@ -32,6 +33,8 @@ from repro.sharding.stats import (
     merge_pair_groups,
     merge_tokenizations,
     splice_tokenization,
+    tree_merge_pair_groups,
+    tree_merge_tokenizations,
     unmerge_pair_groups,
 )
 from repro.sharding.store import (
@@ -62,11 +65,14 @@ __all__ = [
     "HttpObjectClient",
     "RetryPolicy",
     "MergedPairGroups",
+    "PrefetchingFetcher",
     "extract_pair_groups",
     "merge_pair_groups",
     "merge_into_pair_groups",
     "unmerge_pair_groups",
     "merge_tokenizations",
     "splice_tokenization",
+    "tree_merge_pair_groups",
+    "tree_merge_tokenizations",
     "make_shard_store",
 ]

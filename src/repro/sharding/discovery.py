@@ -34,7 +34,7 @@ from repro.kernels.runtime import kernels_enabled
 from repro.kernels.tokenize import batch_tokenize, tokenization_from_encoding
 from repro.pfd.pfd import PFD
 from repro.sharding.sharded_table import ShardedTable
-from repro.sharding.stats import merge_tokenizations
+from repro.sharding.stats import tree_merge_tokenizations
 
 
 class ShardedDiscoverer:
@@ -244,13 +244,34 @@ class ShardedDiscoverer:
     def _extract_and_merge(
         self, sharded: ShardedTable, column: str, mode: str
     ) -> ColumnTokenization:
+        timers = self.discoverer.timers
         ngram_size = self.config.ngram_size
         if self._shard_map is not None and sharded.n_shards > 1:
-            payloads = [
-                (shard.column_ref(column), mode, ngram_size)
-                for _offset, shard in sharded.iter_shards()
-            ]
-            shard_rows = self._shard_map(_extract_shard_tokens, payloads)
+            if getattr(self._shard_map, "supports_keys", False):
+                # warm-cacheable fan-out: keyed by shard version, so a
+                # repeated run over unchanged shards skips the shard
+                # load and the process round-trip (payloads build lazily,
+                # only for cache misses)
+                versions = sharded.versions()
+                keys = [
+                    ("shard_tokens", index, versions[index], column, mode, ngram_size)
+                    for index in range(sharded.n_shards)
+                ]
+                shard_rows = self._shard_map(
+                    _extract_shard_tokens,
+                    keys=keys,
+                    payload_for=lambda index: (
+                        sharded.store.get(index).column_ref(column),
+                        mode,
+                        ngram_size,
+                    ),
+                )
+            else:
+                payloads = [
+                    (shard.column_ref(column), mode, ngram_size)
+                    for _offset, shard in sharded.iter_shards()
+                ]
+                shard_rows = self._shard_map(_extract_shard_tokens, payloads)
         else:
             # One distinct-value cache across shards: a value recurring in
             # many shards is tokenized once, like the monolithic pass.
@@ -261,7 +282,8 @@ class ShardedDiscoverer:
                 ).row_tokens
                 for _offset, shard in sharded.iter_shards()
             ]
-        return merge_tokenizations(mode, ngram_size, shard_rows)
+        with timers.stage("merge"):
+            return tree_merge_tokenizations(mode, ngram_size, shard_rows)
 
 
 def _extract_shard_tokens(payload) -> list:

@@ -45,6 +45,8 @@ from typing import List, Optional, Tuple, Union
 from repro.dataset.table import Table
 from repro.errors import TableError
 from repro.perf.interning import InternPool
+from repro.perf.timers import StageTimers
+from repro.sharding.prefetch import PrefetchingFetcher
 from repro.sharding.remote import (
     FaultInjectingClient,
     HttpObjectClient,
@@ -176,6 +178,15 @@ class ObjectShardStore(ShardStore):
         non-local client — a remote namespace has no temporary
         directory whose removal would reclaim the bytes — and ``False``
         otherwise.
+    prefetch_depth:
+        How many shard objects ahead of a read to fetch (GET + checksum
+        verification, retries included) on background threads via
+        :class:`~repro.sharding.prefetch.PrefetchingFetcher`.  ``0``
+        (the default) reads sequentially on the caller's thread.
+    timers:
+        :class:`~repro.perf.timers.StageTimers` receiving the
+        ``fetch_wait``/``prefetch_hit`` stages; a private instance is
+        created when omitted (exposed as :attr:`timers` either way).
     """
 
     def __init__(
@@ -188,12 +199,16 @@ class ObjectShardStore(ShardStore):
         retry_policy: Optional[RetryPolicy] = None,
         owns_client: Optional[bool] = None,
         delete_objects_on_close: Optional[bool] = None,
+        prefetch_depth: int = 0,
+        timers: Optional[StageTimers] = None,
     ):
         super().__init__()
         if cache_shards < 1:
             raise TableError(f"cache_shards must be >= 1, got {cache_shards}")
         if max_read_attempts < 1:
             raise TableError(f"max_read_attempts must be >= 1, got {max_read_attempts}")
+        if prefetch_depth < 0:
+            raise TableError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
         self._owns_client = (client is None) if owns_client is None else owns_client
         self.client = client if client is not None else LocalObjectClient(root)
         self.retry_policy = (
@@ -215,6 +230,12 @@ class ObjectShardStore(ShardStore):
         #: read/write attempts beyond the first, for observability/tests
         self.retried_reads = 0
         self.retried_puts = 0
+        self.timers = timers if timers is not None else StageTimers()
+        self._prefetcher: Optional[PrefetchingFetcher] = (
+            PrefetchingFetcher(self._fetch_verified, prefetch_depth, self.timers)
+            if prefetch_depth > 0
+            else None
+        )
 
     # -- serialization -----------------------------------------------------------
 
@@ -285,12 +306,12 @@ class ObjectShardStore(ShardStore):
     def shard_row_counts(self) -> List[int]:
         return [n_rows for _key, n_rows, _version, _digest in self._meta]
 
-    def get(self, index: int) -> Table:
-        cached = self._loaded.get(index)
-        if cached is not None:
-            self._loaded.move_to_end(index)
-            return cached
-        key, n_rows, _version, digest = self._meta[index]
+    def _fetch_verified(self, index: int) -> bytes:
+        """Blocking fetch of one shard object: GET + SHA-256 verify
+        under the shared retry policy.  Thread-safe (the prefetcher
+        calls it from its fetch threads); retry backoff sleeps happen
+        on the calling thread."""
+        key, _n_rows, _version, digest = self._meta[index]
 
         def _download() -> bytes:
             data = self.client.get(key)
@@ -302,11 +323,29 @@ class ObjectShardStore(ShardStore):
         def _count_read_retry(_exc: ObjectStoreError) -> None:
             self.retried_reads += 1
 
-        data = self.retry_policy.run(
+        return self.retry_policy.run(
             _download,
             what=f"shard object {key} unreadable",
             on_retry=_count_read_retry,
         )
+
+    @property
+    def prefetch_hits(self) -> int:
+        """Shards whose bytes were already prefetched when read (``0``
+        without a prefetcher)."""
+        return self._prefetcher.prefetch_hits if self._prefetcher is not None else 0
+
+    def get(self, index: int) -> Table:
+        cached = self._loaded.get(index)
+        if cached is not None:
+            self._loaded.move_to_end(index)
+            return cached
+        key, n_rows, _version, _digest = self._meta[index]
+        if self._prefetcher is not None:
+            data = self._prefetcher.get(index, self.n_shards)
+        else:
+            with self.timers.stage("fetch_wait"):
+                data = self._fetch_verified(index)
         shard = self._parse(index, key, data, n_rows)
         self._loaded[index] = shard
         while len(self._loaded) > self._cache_shards:
@@ -323,6 +362,10 @@ class ObjectShardStore(ShardStore):
         namespace) and the client itself (when owned).  Safe to call off
         an error path mid-upload — cleanup failures never mask the
         original error — and idempotent."""
+        if self._prefetcher is not None:
+            # join the fetch threads before touching the client or the
+            # objects they may still be reading
+            self._prefetcher.close()
         self._loaded.clear()
         self._interned.clear()
         try:

@@ -240,3 +240,119 @@ def merge_tokenizations(
     for shard_rows in shard_row_tokens:
         row_tokens.extend(shard_rows)
     return ColumnTokenization(mode, ngram_size, row_tokens)
+
+
+# -- tree reduction ----------------------------------------------------------------
+#
+# The left folds above reduce one shard at a time on the driver — fine
+# for a handful of shards, serial coordination for hundreds.  The tree
+# variants below reduce *adjacent* partials pairwise, level by level:
+# adjacent partials cover adjacent contiguous global-row ranges, so
+# every pairwise merge concatenates a strictly lower id range with a
+# strictly higher one and row lists stay ascending at every level.
+# Merging adjacent pairs is therefore order-insensitive with respect to
+# the fold: the result is value-equal to the left fold over the same
+# shards (proven by the randomized equivalence tests in
+# tests/sharding/test_tree_merge.py).
+#
+# Level-0 inputs are never mutated — they may be cached per-shard
+# artifacts (``TABLE_ARTIFACTS``, the worker pool's warm cache) —
+# so the first merge touching a partial copies it; intermediate results
+# are owned by the reduction and merged in place.  An optional
+# ``merge_map`` hook (same shape as the engines' shard map) runs each
+# level's independent pairwise merges through a fan-out.
+
+
+def _merge_adjacent_pair_groups(payload) -> PairGroups:
+    """Merge two adjacent pair-group partials (module-level so a process
+    fan-out can pickle it).  ``owns_left`` says whether ``left`` is an
+    intermediate the reduction owns (mutable) or a level-0 input (copy)."""
+    left, right, owns_left = payload
+    if owns_left:
+        merged = left
+    else:
+        merged = {
+            lhs_value: {rhs_value: row_ids(rows) for rhs_value, rows in by_rhs.items()}
+            for lhs_value, by_rhs in left.items()
+        }
+    for lhs_value, by_rhs in right.items():
+        merged_rhs = merged.get(lhs_value)
+        if merged_rhs is None:
+            merged[lhs_value] = {
+                rhs_value: row_ids(rows) for rhs_value, rows in by_rhs.items()
+            }
+            continue
+        for rhs_value, rows in by_rhs.items():
+            existing = merged_rhs.get(rhs_value)
+            if existing is None:
+                merged_rhs[rhs_value] = row_ids(rows)
+            else:
+                existing.extend(rows)
+    return merged
+
+
+def _merge_adjacent_token_rows(payload) -> List[Tuple[Tuple[str, int, str], ...]]:
+    """Concatenate two adjacent tokenization partials (tree analogue of
+    the :func:`merge_tokenizations` fold step)."""
+    left, right, owns_left = payload
+    merged = left if owns_left else list(left)
+    merged.extend(right)
+    return merged
+
+
+def _tree_reduce(partials: List, merge_adjacent, merge_map) -> Tuple[object, bool]:
+    """Reduce partials pairwise until one remains.  Returns ``(result,
+    owned)`` — ``owned`` is ``False`` only for a single-partial input,
+    where the result still aliases the caller's level-0 data."""
+    owned = [False] * len(partials)
+    while len(partials) > 1:
+        payloads = [
+            (partials[i], partials[i + 1], owned[i])
+            for i in range(0, len(partials) - 1, 2)
+        ]
+        if merge_map is not None and len(payloads) > 1:
+            level = list(merge_map(merge_adjacent, payloads))
+        else:
+            level = [merge_adjacent(payload) for payload in payloads]
+        next_owned = [True] * len(level)
+        if len(partials) % 2:
+            level.append(partials[-1])
+            next_owned.append(owned[-1])
+        partials, owned = level, next_owned
+    return partials[0], owned[0]
+
+
+def tree_merge_pair_groups(
+    shard_groups: Sequence[PairGroups], merge_map=None
+) -> "MergedPairGroups":
+    """Tree-reduce per-shard pair groups (in shard order) into one merged
+    statistic, value-equal to :func:`merge_pair_groups`.  The level-0
+    partials are left untouched (they may be cached), and ``merge_map``
+    optionally fans each level's independent pairwise merges out."""
+    partials = list(shard_groups)
+    if not partials:
+        return MergedPairGroups({})
+    result, owned = _tree_reduce(partials, _merge_adjacent_pair_groups, merge_map)
+    if not owned:
+        result = {
+            lhs_value: {rhs_value: row_ids(rows) for rhs_value, rows in by_rhs.items()}
+            for lhs_value, by_rhs in result.items()
+        }
+    return MergedPairGroups(result)
+
+
+def tree_merge_tokenizations(
+    mode: str,
+    ngram_size: int,
+    shard_row_tokens: Sequence[Sequence[Tuple[Tuple[str, int, str], ...]]],
+    merge_map=None,
+) -> ColumnTokenization:
+    """Tree-reduce per-shard tokenization rows, value-equal to
+    :func:`merge_tokenizations` (concatenation of adjacent ranges is
+    associative; shard order is preserved at every level)."""
+    partials = list(shard_row_tokens)
+    if not partials:
+        return ColumnTokenization(mode, ngram_size, [])
+    result, owned = _tree_reduce(partials, _merge_adjacent_token_rows, merge_map)
+    rows = result if owned else list(result)
+    return ColumnTokenization(mode, ngram_size, rows)

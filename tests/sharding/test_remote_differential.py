@@ -86,7 +86,7 @@ def run_workflow(table):
     return rules, canonical, after_rules, after_canonical
 
 
-def faulty_store(server, seed):
+def faulty_store(server, seed, prefetch_depth=0, prefix="diff"):
     client = FaultInjectingClient(
         HttpObjectClient(server.url),
         seed=seed,
@@ -96,9 +96,10 @@ def faulty_store(server, seed):
     store = ObjectShardStore(
         client=client,
         owns_client=True,
-        prefix=f"diff_{seed}",
+        prefix=f"{prefix}_{seed}",
         cache_shards=CACHE_SHARDS,
         retry_policy=POLICY,
+        prefetch_depth=prefetch_depth,
     )
     return client, store
 
@@ -125,6 +126,35 @@ def test_faulted_remote_run_identical_to_monolithic(server, name, n_rows, specs,
     assert len(store._loaded) <= CACHE_SHARDS
     # session.close() released the remote namespace — nothing leaked
     leftovers = [k for k in server.objects if k.startswith(f"diff_{seed}/")]
+    assert leftovers == [], f"objects leaked on the server: {leftovers}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name,n_rows,specs", GENERATORS, ids=lambda v: str(v))
+def test_faulted_prefetching_run_identical_to_monolithic(
+    server, name, n_rows, specs, seed
+):
+    """The same faulted workflow through the prefetching reader: faults
+    firing inside background fetch threads must heal identically (the
+    retry policy runs inside the fetch), results must not diverge, and
+    close() must still leave zero objects on the server."""
+    expected = run_workflow(dirty_table(name, n_rows, specs, seed))
+
+    client, store = faulty_store(server, seed, prefetch_depth=3, prefix="pre")
+    table = dirty_table(name, n_rows, specs, seed)
+    sharded = ShardedTable.from_table(table, SHARD_ROWS, store=store)
+    assert sharded.n_shards > 1
+    observed = run_workflow(sharded)
+
+    assert observed == expected, "prefetching faulted run diverged from monolithic"
+    assert client.total_faults > 0, "fault injector never fired"
+    assert store.retried_reads + store.retried_puts > 0
+    # the pipeline actually ran ahead of the reader
+    assert store.prefetch_hits > 0, "prefetcher never served a shard early"
+    # the caller-visible I/O wait was measured
+    assert store.timers.count("fetch_wait") > 0
+    assert len(store._loaded) <= CACHE_SHARDS
+    leftovers = [k for k in server.objects if k.startswith(f"pre_{seed}/")]
     assert leftovers == [], f"objects leaked on the server: {leftovers}"
 
 
